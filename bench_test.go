@@ -1,0 +1,272 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark runs
+// the full pipeline behind its artefact at quick scale; the printed
+// metrics summarise the artefact so `go test -bench` output doubles as a
+// compact reproduction report.
+package golatest
+
+import (
+	"math"
+	"testing"
+
+	"golatest/internal/core"
+	"golatest/internal/experiments"
+)
+
+// benchSuite is shared across benchmarks: campaigns cache within one
+// suite, so each artefact's incremental cost is what the benchmark
+// reports after the first iteration warms the cache.
+var benchSuite = experiments.NewSuite(experiments.Options{
+	Scale: experiments.ScaleQuick,
+	Seed:  7,
+})
+
+func freshSuite(i int) *experiments.Suite {
+	return experiments.NewSuite(experiments.Options{
+		Scale: experiments.ScaleQuick,
+		Seed:  uint64(1000 + i),
+	})
+}
+
+// BenchmarkTable1Hardware regenerates Table I (hardware setup).
+func BenchmarkTable1Hardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2Summary regenerates Table II (best/worst-case switching
+// latency summaries for the three GPUs), one full three-campaign sweep
+// per iteration.
+func BenchmarkTable2Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := freshSuite(i).Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s worst: min %.3f mean %.3f max %.3f | best: min %.3f mean %.3f max %.3f",
+					r.Model, r.WorstMinMs, r.WorstMeanMs, r.WorstMaxMs,
+					r.BestMinMs, r.BestMeanMs, r.BestMaxMs)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1CPUTrace regenerates the Fig. 1 CPU transition trace.
+func BenchmarkFig1CPUTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace, err := experiments.Fig1CPUTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(trace) < 3 {
+			b.Fatal("trace too short")
+		}
+	}
+}
+
+// BenchmarkFig2ACCTrace regenerates the Fig. 2 CPU→ACC request trace.
+func BenchmarkFig2ACCTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace, err := experiments.Fig2GPUTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(trace) < 3 {
+			b.Fatal("trace too short")
+		}
+	}
+}
+
+func benchHeatmap(b *testing.B, key string, agg experiments.Agg) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h, err := benchSuite.Fig3Heatmap(key, agg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min, max, _, _ := h.MinMax()
+		if math.IsNaN(min) || math.IsNaN(max) {
+			b.Fatal("empty heatmap")
+		}
+		if i == 0 {
+			b.Logf("%s %s heatmap: min %.3f max %.3f mean %.3f", key, agg, min, max, h.Mean())
+		}
+	}
+}
+
+// BenchmarkFig3aGH200Min regenerates the GH200 minimum-latency heatmap.
+func BenchmarkFig3aGH200Min(b *testing.B) { benchHeatmap(b, "gh200", experiments.AggMin) }
+
+// BenchmarkFig3bGH200Max regenerates the GH200 maximum-latency heatmap.
+func BenchmarkFig3bGH200Max(b *testing.B) { benchHeatmap(b, "gh200", experiments.AggMax) }
+
+// BenchmarkFig3cA100Max regenerates the A100 maximum-latency heatmap.
+func BenchmarkFig3cA100Max(b *testing.B) { benchHeatmap(b, "a100", experiments.AggMax) }
+
+// BenchmarkFig3dRTXMax regenerates the RTX Quadro 6000 maximum heatmap.
+func BenchmarkFig3dRTXMax(b *testing.B) { benchHeatmap(b, "rtx6000", experiments.AggMax) }
+
+// BenchmarkFig4Violins regenerates the direction-split violin panels.
+func BenchmarkFig4Violins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := benchSuite.Fig4Violins()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 3 {
+			b.Fatal("missing panels")
+		}
+	}
+}
+
+// BenchmarkFig5Scatter regenerates the multi-cluster scatter of the GH200
+// 1770→1260 MHz pair.
+func BenchmarkFig5Scatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := benchSuite.FigScatter("gh200", core.Pair{InitMHz: 1770, TargetMHz: 1260}, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("1770→1260: %d samples, %d clusters, silhouette %.2f",
+				len(sc.SamplesMs), sc.NumClusters, sc.Silhouette)
+		}
+	}
+}
+
+// BenchmarkFig6Scatter regenerates the single-cluster scatter of a
+// non-pathological GH200 pair.
+func BenchmarkFig6Scatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := benchSuite.FigScatter("gh200", core.Pair{InitMHz: 705, TargetMHz: 1095}, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("705→1095: %d samples, %d clusters", len(sc.SamplesMs), sc.NumClusters)
+		}
+	}
+}
+
+// BenchmarkFig7MinRanges regenerates the Fig. 7 cross-unit minimum-range
+// heatmap over four A100s.
+func BenchmarkFig7MinRanges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := benchSuite.RangeHeatmap(experiments.AggMin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("min-range mean %.3f ms", h.Mean())
+		}
+	}
+}
+
+// BenchmarkFig8MaxRanges regenerates the Fig. 8 cross-unit maximum-range
+// heatmap.
+func BenchmarkFig8MaxRanges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := benchSuite.RangeHeatmap(experiments.AggMax)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("max-range mean %.3f ms", h.Mean())
+		}
+	}
+}
+
+// BenchmarkFig9Boxplots regenerates the highest-spread box plots across
+// the four A100 units.
+func BenchmarkFig9Boxplots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		boxes, err := benchSuite.Fig9Boxes(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(boxes) != 12 {
+			b.Fatalf("boxes = %d", len(boxes))
+		}
+	}
+}
+
+// BenchmarkClusterCensus regenerates the §VII-B cluster census.
+func BenchmarkClusterCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchSuite.ClusterCensus()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: single-cluster %.0f%%, max clusters %d",
+					r.Model, 100*r.SingleClusterShare, r.MaxClusters)
+			}
+		}
+	}
+}
+
+// BenchmarkCIDegeneration regenerates the §V-A confidence-interval
+// degeneration study.
+func BenchmarkCIDegeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CIDegeneration([]int{50, 400, 3200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("n=%d: band %.4f µs, in-band %.1f%%, detect iters %.1f",
+					r.N, r.BandUs, 100*r.InBandShare, r.MeanDetectIters)
+			}
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the three design-choice ablations
+// (transition shape, detection band, sync asymmetry).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ramp, err := experiments.RampAblation([]int{0, 8}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det, err := experiments.DetectionAblation(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syn, err := experiments.SyncAblation([]float64{0, 800}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("ramp: step err %.3f ms vs 8-step err %.3f ms (discards %.2f)",
+				ramp[0].MeanErrMs, ramp[1].MeanErrMs, ramp[1].FailShare)
+			b.Logf("detection: 2σ accepts %.2f vs CI accepts %.2f",
+				det[0].AcceptedShare, det[1].AcceptedShare)
+			b.Logf("sync: 800 µs asymmetry shifts bias by %.3f ms",
+				syn[0].MeanBiasMs-syn[1].MeanBiasMs)
+		}
+	}
+}
+
+// BenchmarkCPUvsGPU regenerates the headline CPU-vs-GPU scale comparison.
+func BenchmarkCPUvsGPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchSuite.CPUvsGPU()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: median %.3f ms, max %.3f ms", r.Platform, r.MedianMs, r.MaxMs)
+			}
+		}
+	}
+}

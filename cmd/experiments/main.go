@@ -1,0 +1,350 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section into a results directory: Markdown tables, text and
+// CSV heatmaps, violin/box summaries, scatter exports, traces, and the
+// §V-A / §VII-B / CPU-vs-GPU studies. See DESIGN.md's per-experiment
+// index for the artefact ↔ module map.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-only <id>] [-out results/]
+//
+// Artefact ids: table1 table2 fig1 fig2 fig3a fig3b fig3c fig3d fig4
+// fig5 fig6 fig7 fig8 fig9 clusters cidegen cpuvsgpu (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"golatest/internal/core"
+	"golatest/internal/experiments"
+	"golatest/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type generator struct {
+	id  string
+	fn  func(*experiments.Suite, string, io.Writer) error
+	doc string
+}
+
+var generators = []generator{
+	{"table1", genTable1, "Table I — hardware setup"},
+	{"table2", genTable2, "Table II — switching latency summary"},
+	{"fig1", genFig1, "Fig. 1 — CPU transition trace"},
+	{"fig2", genFig2, "Fig. 2 — CPU→ACC request trace"},
+	{"fig3a", heatmapGen("gh200", experiments.AggMin), "Fig. 3a — GH200 min heatmap"},
+	{"fig3b", heatmapGen("gh200", experiments.AggMax), "Fig. 3b — GH200 max heatmap"},
+	{"fig3c", heatmapGen("a100", experiments.AggMax), "Fig. 3c — A100 max heatmap"},
+	{"fig3d", heatmapGen("rtx6000", experiments.AggMax), "Fig. 3d — RTX max heatmap"},
+	{"fig4", genFig4, "Fig. 4 — direction violins"},
+	{"fig5", scatterGen(core.Pair{InitMHz: 1770, TargetMHz: 1260}, "fig5"), "Fig. 5 — multi-cluster scatter"},
+	{"fig6", scatterGen(core.Pair{InitMHz: 705, TargetMHz: 1095}, "fig6"), "Fig. 6 — single-cluster scatter"},
+	{"fig7", rangeGen(experiments.AggMin, "fig7"), "Fig. 7 — A100 min ranges"},
+	{"fig8", rangeGen(experiments.AggMax, "fig8"), "Fig. 8 — A100 max ranges"},
+	{"fig9", genFig9, "Fig. 9 — per-unit boxplots"},
+	{"clusters", genClusters, "§VII-B — cluster census"},
+	{"cidegen", genCIDegen, "§V-A — CI degeneration"},
+	{"cpuvsgpu", genCPUvsGPU, "§VII — CPU vs GPU scale"},
+	{"ablations", genAblations, "ablations — ramp / detection band / sync error"},
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		scaleFlag = fs.String("scale", "quick", "campaign scale: quick or full")
+		only      = fs.String("only", "", "comma-separated artefact ids (default all)")
+		outDir    = fs.String("out", "results", "output directory")
+		seed      = fs.Uint64("seed", 2025, "campaign seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.ScaleQuick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	suite := experiments.NewSuite(experiments.Options{Scale: scale, Seed: *seed})
+	for _, g := range generators {
+		if len(wanted) > 0 && !wanted[g.id] {
+			continue
+		}
+		start := time.Now()
+		if err := g.fn(suite, *outDir, out); err != nil {
+			return fmt.Errorf("%s: %w", g.id, err)
+		}
+		fmt.Fprintf(out, "[%-8s] %-40s %8.2fs\n", g.id, g.doc, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func writeFile(dir, name string, fill func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func genTable1(_ *experiments.Suite, dir string, _ io.Writer) error {
+	return writeFile(dir, "table1.md", func(w io.Writer) error {
+		return experiments.RenderTable1(w, experiments.Table1())
+	})
+}
+
+func genTable2(s *experiments.Suite, dir string, _ io.Writer) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "table2.md", func(w io.Writer) error {
+		return experiments.RenderTable2(w, rows)
+	})
+}
+
+func genFig1(_ *experiments.Suite, dir string, _ io.Writer) error {
+	trace, err := experiments.Fig1CPUTrace()
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "fig1_cpu_trace.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, experiments.RenderTrace(trace))
+		return err
+	})
+}
+
+func genFig2(_ *experiments.Suite, dir string, _ io.Writer) error {
+	trace, err := experiments.Fig2GPUTrace()
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "fig2_acc_trace.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, experiments.RenderTrace(trace))
+		return err
+	})
+}
+
+func heatmapGen(key string, agg experiments.Agg) func(*experiments.Suite, string, io.Writer) error {
+	return func(s *experiments.Suite, dir string, _ io.Writer) error {
+		h, err := s.Fig3Heatmap(key, agg)
+		if err != nil {
+			return err
+		}
+		base := fmt.Sprintf("fig3_%s_%s", key, agg)
+		if err := writeFile(dir, base+".txt", h.Render); err != nil {
+			return err
+		}
+		return writeFile(dir, base+".csv", h.WriteCSV)
+	}
+}
+
+func genFig4(s *experiments.Suite, dir string, _ io.Writer) error {
+	panels, err := s.Fig4Violins()
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "fig4_violins.txt", func(w io.Writer) error {
+		for _, p := range panels {
+			fmt.Fprintf(w, "== %s ==\n", p.Model)
+			if err := p.Increasing.Render(w, 48); err != nil {
+				return err
+			}
+			if err := p.Decreasing.Render(w, 48); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+}
+
+func scatterGen(pair core.Pair, base string) func(*experiments.Suite, string, io.Writer) error {
+	return func(s *experiments.Suite, dir string, logw io.Writer) error {
+		sc, err := s.FigScatter("gh200", pair, 300)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "  %s %s: %d clusters, silhouette %.2f\n",
+			base, pair, sc.NumClusters, sc.Silhouette)
+		return writeFile(dir, base+"_scatter.csv", func(w io.Writer) error {
+			return report.WriteScatterCSV(w, sc.SamplesMs, sc.OutlierFlag)
+		})
+	}
+}
+
+func rangeGen(agg experiments.Agg, base string) func(*experiments.Suite, string, io.Writer) error {
+	return func(s *experiments.Suite, dir string, _ io.Writer) error {
+		h, err := s.RangeHeatmap(agg)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(dir, base+"_ranges.txt", h.Render); err != nil {
+			return err
+		}
+		return writeFile(dir, base+"_ranges.csv", h.WriteCSV)
+	}
+}
+
+func genFig9(s *experiments.Suite, dir string, _ io.Writer) error {
+	boxes, err := s.Fig9Boxes(3)
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "fig9_boxplots.txt", func(w io.Writer) error {
+		return report.RenderBoxes(w, boxes)
+	})
+}
+
+func genClusters(s *experiments.Suite, dir string, _ io.Writer) error {
+	rows, err := s.ClusterCensus()
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "cluster_census.md", func(w io.Writer) error {
+		header := []string{"Model", "Pairs sampled", "Single-cluster share",
+			"Max clusters", "Mean silhouette (multi)"}
+		var data [][]string
+		for _, r := range rows {
+			data = append(data, []string{
+				r.Model, fmt.Sprint(r.Pairs),
+				fmt.Sprintf("%.0f%%", 100*r.SingleClusterShare),
+				fmt.Sprint(r.MaxClusters),
+				fmt.Sprintf("%.2f", r.MeanSilhouette),
+			})
+		}
+		return report.MarkdownTable(w, header, data)
+	})
+}
+
+func genCIDegen(_ *experiments.Suite, dir string, _ io.Writer) error {
+	rows, err := experiments.CIDegeneration([]int{50, 200, 800, 3200, 12800})
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "ci_degeneration.md", func(w io.Writer) error {
+		header := []string{"Phase-1 n", "CI band [µs]", "In-band share", "Mean detect iters", "Failed"}
+		var data [][]string
+		for _, r := range rows {
+			data = append(data, []string{
+				fmt.Sprint(r.N), fmt.Sprintf("%.4f", r.BandUs),
+				fmt.Sprintf("%.1f%%", 100*r.InBandShare),
+				fmt.Sprintf("%.1f", r.MeanDetectIters), fmt.Sprint(r.FailedDetections),
+			})
+		}
+		return report.MarkdownTable(w, header, data)
+	})
+}
+
+func genAblations(_ *experiments.Suite, dir string, _ io.Writer) error {
+	ramp, err := experiments.RampAblation([]int{0, 2, 8, 32}, 12)
+	if err != nil {
+		return err
+	}
+	det, err := experiments.DetectionAblation(12)
+	if err != nil {
+		return err
+	}
+	syn, err := experiments.SyncAblation([]float64{0, 100, 400, 1600}, 10)
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "ablations.md", func(w io.Writer) error {
+		fmt.Fprintln(w, "## Transition shape (ramp steps)")
+		if err := report.MarkdownTable(w,
+			[]string{"Ramp steps", "Mean err [ms]", "Max err [ms]", "Discard share"},
+			rowsOf(len(ramp), func(i int) []string {
+				r := ramp[i]
+				return []string{fmt.Sprint(r.RampSteps), fmt.Sprintf("%.3f", r.MeanErrMs),
+					fmt.Sprintf("%.3f", r.MaxErrMs), fmt.Sprintf("%.2f", r.FailShare)}
+			})); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\n## Detection band (2σ population vs CI of the mean)")
+		if err := report.MarkdownTable(w,
+			[]string{"Mode", "Accepted share", "Mean err [ms]"},
+			rowsOf(len(det), func(i int) []string {
+				r := det[i]
+				return []string{r.Mode, fmt.Sprintf("%.2f", r.AcceptedShare),
+					fmt.Sprintf("%.3f", r.MeanErrMs)}
+			})); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\n## Timer-sync link asymmetry")
+		if err := report.MarkdownTable(w,
+			[]string{"Asymmetry [µs]", "Mean bias [ms]"},
+			rowsOf(len(syn), func(i int) []string {
+				r := syn[i]
+				return []string{fmt.Sprintf("%.0f", r.AsymmetryUs), fmt.Sprintf("%.3f", r.MeanBiasMs)}
+			})); err != nil {
+			return err
+		}
+		cores, err := experiments.CoreCountStudy([]int{1, 4, 16, 64}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\n## Core count vs detection band (§V-A small accelerators)")
+		return report.MarkdownTable(w,
+			[]string{"Cores", "Phase-1 n", "CI accepted", "2σ accepted"},
+			rowsOf(len(cores), func(i int) []string {
+				r := cores[i]
+				return []string{fmt.Sprint(r.Cores), fmt.Sprint(r.Phase1N),
+					fmt.Sprintf("%.2f", r.CIAcceptedShare),
+					fmt.Sprintf("%.2f", r.SigmaAcceptedShare)}
+			}))
+	})
+}
+
+func rowsOf(n int, f func(int) []string) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func genCPUvsGPU(s *experiments.Suite, dir string, _ io.Writer) error {
+	rows, err := s.CPUvsGPU()
+	if err != nil {
+		return err
+	}
+	return writeFile(dir, "cpu_vs_gpu.md", func(w io.Writer) error {
+		header := []string{"Platform", "Median [ms]", "Max [ms]"}
+		var data [][]string
+		for _, r := range rows {
+			data = append(data, []string{
+				r.Platform, fmt.Sprintf("%.3f", r.MedianMs), fmt.Sprintf("%.3f", r.MaxMs),
+			})
+		}
+		return report.MarkdownTable(w, header, data)
+	})
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedArtefacts(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-scale", "quick", "-only", "table1,fig1,fig2,cidegen", "-out", dir}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.md", "fig1_cpu_trace.txt", "fig2_acc_trace.txt", "ci_degeneration.md"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	if !strings.Contains(out.String(), "[table1  ]") {
+		t.Fatalf("progress log:\n%s", out.String())
+	}
+	// Unselected artefacts must not appear.
+	if _, err := os.Stat(filepath.Join(dir, "table2.md")); !os.IsNotExist(err) {
+		t.Fatal("table2.md generated despite -only filter")
+	}
+}
+
+func TestRunTable1Content(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table1", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GH200", "A100", "RTX Quadro 6000", "132", "108", "72"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("table1.md missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "medium"}, &out); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestGeneratorIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range generators {
+		if seen[g.id] {
+			t.Fatalf("duplicate generator id %q", g.id)
+		}
+		seen[g.id] = true
+	}
+	if len(generators) != 18 {
+		t.Fatalf("generators = %d, want 18 artefacts", len(generators))
+	}
+}
+
+func TestRunAllArtefactsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every generator at quick scale (~20 s)")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every generator produces at least one file; heatmaps and ranges
+	// produce two (txt + csv).
+	if len(entries) < len(generators) {
+		t.Fatalf("artefact files = %d, want ≥ %d", len(entries), len(generators))
+	}
+	for _, name := range []string{
+		"table2.md", "fig3_gh200_max.csv", "fig4_violins.txt",
+		"fig5_scatter.csv", "fig7_ranges.txt", "fig9_boxplots.txt",
+		"cluster_census.md", "cpu_vs_gpu.md", "ablations.md",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command ftalat runs the FTaLaT CPU frequency-transition-latency
+// baseline (§III–IV) on the simulated DVFS core, printing per-pair
+// transition latencies in microseconds — the µs-scale contrast to the
+// GPU tool's ms-scale results.
+//
+// Usage:
+//
+//	ftalat [flags] <comma-separated core clocks in MHz>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"golatest/internal/ftalat"
+	"golatest/internal/sim/clock"
+	"golatest/internal/sim/cpu"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftalat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftalat", flag.ContinueOnError)
+	var (
+		repeats = fs.Int("repeats", 30, "measurements per pair")
+		baseUs  = fs.Float64("base", 25, "core transition base latency in µs")
+		jitUs   = fs.Float64("jitter", 20, "core transition jitter in µs")
+		upUs    = fs.Float64("up-penalty", 25, "extra µs for upward transitions")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one argument: a comma-separated clock list")
+	}
+	freqs, err := parseFreqs(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	core, err := cpu.New(cpu.Config{
+		Name:     "Skylake-SP (simulated)",
+		FreqsMHz: freqs,
+		Transition: cpu.UniformTransition{
+			BaseNs:      int64(*baseUs * 1000),
+			JitterNs:    int64(*jitUs * 1000),
+			UpPenaltyNs: int64(*upUs * 1000),
+		},
+		Seed: *seed,
+	}, clock.New())
+	if err != nil {
+		return err
+	}
+	runner, err := ftalat.NewRunner(core, ftalat.Config{
+		Frequencies: freqs,
+		Repeats:     *repeats,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "FTaLaT (simulated) — %s, %d clocks\n", core.Config().Name, len(freqs))
+	res, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "phase 1: %d valid pairs, %d excluded\n",
+		len(res.Phase1.ValidPairs), len(res.Phase1.Excluded))
+	for _, pr := range res.Pairs {
+		fmt.Fprintf(out, "%-18s n=%-3d failures=%-3d latency [µs]: %s\n",
+			pr.Pair.String(), len(pr.Samples), pr.Failures, pr.Summary.String())
+	}
+	return nil
+}
+
+func parseFreqs(arg string) ([]float64, error) {
+	parts := strings.Split(arg, ",")
+	freqs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad clock %q: %w", p, err)
+		}
+		freqs = append(freqs, f)
+	}
+	if len(freqs) < 2 {
+		return nil, fmt.Errorf("need at least two clocks, got %d", len(freqs))
+	}
+	return freqs, nil
+}

@@ -1,0 +1,187 @@
+// Command latest is the Go port of the paper's LATEST benchmarking tool
+// (§VI), run against the simulated GPUs: it measures the streaming-
+// multiprocessor frequency switching latency of a device for every
+// statistically distinguishable pair of the given clocks, and writes one
+// CSV per pair under the paper's naming convention.
+//
+// Usage:
+//
+//	latest [flags] <comma-separated SM clocks in MHz>
+//
+// The clock list is the tool's one mandatory argument. Flags mirror the
+// original tool's options: device index, RSE threshold, minimum and
+// maximum measurement counts, plus simulation-specific selectors for the
+// GPU profile and output directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"golatest/internal/core"
+	"golatest/internal/hwprofile"
+	"golatest/internal/nvml"
+	"golatest/internal/report"
+	"golatest/internal/sim/clock"
+	"golatest/internal/sim/gpu"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "latest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("latest", flag.ContinueOnError)
+	var (
+		profileKey = fs.String("profile", "a100", "simulated GPU profile: gh200, a100, rtx6000")
+		deviceIdx  = fs.Int("device", 0, "device index in the simulated multi-GPU node")
+		devices    = fs.Int("devices", 1, "number of simulated devices in the node")
+		rse        = fs.Float64("rse", 0.05, "relative standard error stopping threshold")
+		minMeas    = fs.Int("min", 25, "minimum measurements per pair (RSE checks skipped before)")
+		maxMeas    = fs.Int("max", 100, "maximum measurements per pair")
+		hintMs     = fs.Float64("hint", 0, "capture upper bound in ms (0 = probe per §V)")
+		blocks     = fs.Int("blocks", 4, "SM-resident blocks simulated per kernel (0 = all SMs)")
+		outDir     = fs.String("out", ".", "directory for the per-pair CSV files")
+		hostname   = fs.String("hostname", "simnode", "hostname used in CSV file names")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		wakeup     = fs.Bool("wakeup", false, "estimate the wake-up latency at each clock instead of measuring pairs (§V)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one argument: a comma-separated clock list (got %d)", fs.NArg())
+	}
+	freqs, err := parseFreqs(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prof, err := hwprofile.ByKey(*profileKey)
+	if err != nil {
+		return err
+	}
+	if *deviceIdx < 0 || *deviceIdx >= *devices {
+		return fmt.Errorf("device index %d outside the %d-device node", *deviceIdx, *devices)
+	}
+
+	// Build the simulated node. A100 units use the §VII-C manufacturing-
+	// variability instances; other profiles replicate with distinct seeds.
+	clk := clock.New()
+	sims := make([]*gpu.Device, 0, *devices)
+	for i := 0; i < *devices; i++ {
+		p := prof
+		if prof.Key == "a100" {
+			p = hwprofile.A100Instance(i)
+		} else {
+			p.Config.Seed += uint64(i) * 7919
+		}
+		p.Config.Seed += *seed * 104729
+		d, err := p.NewDevice(clk)
+		if err != nil {
+			return err
+		}
+		sims = append(sims, d)
+	}
+	lib, err := nvml.New(sims...)
+	if err != nil {
+		return err
+	}
+	handle, err := lib.DeviceHandleByIndex(*deviceIdx)
+	if err != nil {
+		return err
+	}
+
+	runner, err := core.NewRunner(handle, core.Config{
+		Frequencies:      freqs,
+		Blocks:           *blocks,
+		RSETarget:        *rse,
+		MinMeasurements:  *minMeas,
+		MaxMeasurements:  *maxMeas,
+		MaxLatencyHintNs: int64(*hintMs * 1e6),
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "LATEST (simulated) — %s [device %d], %d clocks\n",
+		handle.Name(), *deviceIdx, len(freqs))
+
+	if *wakeup {
+		fmt.Fprintf(out, "%-10s %14s %12s %14s %14s\n",
+			"clock", "wakeup [ms]", "stabilised", "first it [ms]", "settled [ms]")
+		for _, f := range freqs {
+			est, err := runner.EstimateWakeup(f, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-10.0f %14.3f %12v %14.4f %14.4f\n",
+				f, float64(est.WakeupNs)/1e6, est.Stabilized,
+				est.FirstIterMs, est.SettledIterMs)
+		}
+		return nil
+	}
+
+	res, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "phase 1: %d valid pairs, %d excluded; capture bound %.1f ms\n",
+		len(res.Phase1.ValidPairs), len(res.Phase1.Excluded),
+		float64(res.CaptureHintNs)/1e6)
+
+	for _, pr := range res.Pairs {
+		if pr.Skipped {
+			fmt.Fprintf(out, "%-18s SKIPPED: %s\n", pr.Pair.String(), pr.SkipReason)
+			continue
+		}
+		name := report.CSVFileName(pr.Pair.InitMHz, pr.Pair.TargetMHz, *hostname, *deviceIdx)
+		if err := writeCSV(filepath.Join(*outDir, name), pr.Samples); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-18s n=%-4d outliers=%-3d rse=%-7.4f %s → %s\n",
+			pr.Pair.String(), len(pr.Samples), len(pr.Outliers), pr.FinalRSE,
+			pr.Summary.String(), name)
+	}
+	return nil
+}
+
+func writeCSV(path string, samples []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteLatencyCSV(f, samples); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseFreqs(arg string) ([]float64, error) {
+	parts := strings.Split(arg, ",")
+	freqs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad clock %q: %w", p, err)
+		}
+		freqs = append(freqs, f)
+	}
+	if len(freqs) < 2 {
+		return nil, fmt.Errorf("need at least two clocks, got %d", len(freqs))
+	}
+	return freqs, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golatest/internal/report"
+)
+
+func TestParseFreqs(t *testing.T) {
+	got, err := parseFreqs("705, 1065 ,1410")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 705 || got[2] != 1410 {
+		t.Fatalf("parseFreqs = %v", got)
+	}
+	if _, err := parseFreqs("705"); err == nil {
+		t.Error("single clock accepted")
+	}
+	if _, err := parseFreqs("705,abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseFreqs(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{
+		"-profile", "a100", "-min", "5", "-max", "8", "-hint", "120",
+		"-blocks", "2", "-out", dir, "-hostname", "testhost",
+		"705,1410",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "A100-SXM4[0]") || !strings.Contains(text, "705→1410 MHz") {
+		t.Fatalf("output:\n%s", text)
+	}
+	// Both pair CSVs must exist and round-trip.
+	name := report.CSVFileName(705, 1410, "testhost", 0)
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	vals, err := report.ReadLatencyCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) < 5 {
+		t.Fatalf("CSV has %d rows", len(vals))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"705,1410", "extra"}, &out); err == nil {
+		t.Error("extra positional arg accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing clock list accepted")
+	}
+	if err := run([]string{"-profile", "h100", "705,1410"}, &out); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run([]string{"-device", "3", "705,1410"}, &out); err == nil {
+		t.Error("device index beyond node accepted")
+	}
+}
+
+func TestRunMultiDevice(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{
+		"-profile", "a100", "-devices", "2", "-device", "1",
+		"-min", "5", "-max", "6", "-hint", "120", "-blocks", "2",
+		"-out", dir, "705,1410",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "A100-SXM4[1] [device 1]") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunWakeupMode(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-profile", "a100", "-wakeup", "-hint", "120", "-blocks", "2", "705,1410"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "wakeup [ms]") || !strings.Contains(text, "true") {
+		t.Fatalf("wakeup output:\n%s", text)
+	}
+}

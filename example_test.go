@@ -1,0 +1,69 @@
+package golatest_test
+
+import (
+	"fmt"
+	"log"
+
+	"golatest"
+)
+
+// ExampleProfileByKey shows the Table I metadata carried by a profile.
+func ExampleProfileByKey() {
+	p, err := golatest.ProfileByKey("gh200")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := p.Config
+	fmt.Printf("%s (%s): %d SMs, SM clocks %.0f–%.0f MHz in %d steps\n",
+		cfg.Name, cfg.Architecture, cfg.SMCount,
+		cfg.MinFreqMHz(), cfg.MaxFreqMHz(), len(cfg.FreqsMHz))
+	// Output:
+	// GH200 (Hopper): 132 SMs, SM clocks 345–1980 MHz in 110 steps
+}
+
+// ExampleRun measures one frequency pair end to end on a simulated A100.
+// Latencies are stochastic, so the example prints structure rather than
+// values.
+func ExampleRun() {
+	p, err := golatest.ProfileByKey("a100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := golatest.Run(p, golatest.Config{
+		Frequencies:      []float64{705, 1410},
+		Blocks:           2,
+		MinMeasurements:  5,
+		MaxMeasurements:  8,
+		RSECheckEvery:    5,
+		MaxLatencyHintNs: 120e6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pr := range res.Pairs {
+		fmt.Printf("%s: enough=%v plausible=%v\n",
+			pr.Pair, pr.Summary.N >= 5,
+			pr.Summary.Median > 3 && pr.Summary.Median < 60)
+	}
+	// Output:
+	// 705→1410 MHz: enough=true plausible=true
+	// 1410→705 MHz: enough=true plausible=true
+}
+
+// ExampleDevice_Sim demonstrates the simulation-only ground truth used to
+// validate the methodology.
+func ExampleDevice_Sim() {
+	p, _ := golatest.ProfileByKey("rtx6000")
+	dev, err := golatest.Open(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.NVML().SetApplicationsClocks(0, 1110); err != nil {
+		log.Fatal(err)
+	}
+	inj, ok := dev.Sim().LastInjection()
+	fmt.Printf("recorded=%v target=%.0f MHz positive-latency=%v\n",
+		ok, inj.TargetMHz, inj.SwitchingLatencyNs() > 0)
+	// Output:
+	// recorded=true target=1110 MHz positive-latency=true
+}

@@ -1,0 +1,85 @@
+// Multigpu reproduces the §VII-C manufacturing-variability study shape:
+// benchmark the same frequency pairs on four A100 units and compare the
+// spread of their best- and worst-case switching latencies (Figs. 7–9),
+// checking whether any unit is consistently slower.
+//
+// Run with:
+//
+//	go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"golatest"
+)
+
+const units = 4
+
+func main() {
+	pairsOfInterest := []golatest.Pair{
+		{InitMHz: 1065, TargetMHz: 840},
+		{InitMHz: 1065, TargetMHz: 975},
+		{InitMHz: 1350, TargetMHz: 885},
+	}
+	freqs := []float64{840, 885, 975, 1065, 1350}
+
+	// Each unit owns an independent virtual clock, so the four campaigns
+	// run concurrently.
+	results := make([]*golatest.Result, units)
+	errs := make([]error, units)
+	var wg sync.WaitGroup
+	for u := 0; u < units; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			results[u], errs[u] = golatest.Run(golatest.A100Unit(u), golatest.Config{
+				Frequencies:      freqs,
+				MinMeasurements:  24,
+				MaxMeasurements:  40,
+				MaxLatencyHintNs: 120e6,
+				Seed:             uint64(100 + u),
+			})
+		}(u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%-18s", "transition")
+	for u := 0; u < units; u++ {
+		fmt.Printf("  gpu%d max[ms]", u)
+	}
+	fmt.Printf("  %10s\n", "range[ms]")
+
+	worstCount := make([]int, units)
+	for _, pair := range pairsOfInterest {
+		fmt.Printf("%-18s", pair.String())
+		lo, hi, worstUnit := 1e18, -1e18, -1
+		for u := 0; u < units; u++ {
+			pr, ok := results[u].PairByFreqs(pair.InitMHz, pair.TargetMHz)
+			if !ok {
+				log.Fatalf("unit %d did not measure %v", u, pair)
+			}
+			v := pr.Summary.Max
+			fmt.Printf("  %11.3f", v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+				worstUnit = u
+			}
+		}
+		worstCount[worstUnit]++
+		fmt.Printf("  %10.3f\n", hi-lo)
+	}
+
+	fmt.Printf("\nworst-unit tally across pairs: %v\n", worstCount)
+	fmt.Println("(the paper's finding: no single unit is consistently the slowest)")
+}

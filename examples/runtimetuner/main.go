@@ -1,0 +1,195 @@
+// Runtimetuner demonstrates the paper's motivating use case (§I, §VIII):
+// an energy-efficiency runtime system that wants to retune the GPU clock
+// whenever the workload phase changes, and must know the switching
+// latency matrix to (a) pick a sensible minimum retuning interval and
+// (b) avoid pathological frequency pairs whose overhead would swallow
+// the savings.
+//
+// The program measures a small latency matrix on a simulated GH200, then
+// plans frequency changes for a synthetic phase trace (compute-bound vs
+// memory-bound phases of varying lengths), reporting how many retunings
+// a latency-aware policy performs versus a naive one, and the overhead
+// each would pay.
+//
+// Run with:
+//
+//	go run ./examples/runtimetuner
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"golatest"
+)
+
+// phase is one segment of the synthetic application trace.
+type phase struct {
+	name       string
+	durationMs float64
+	bestClock  float64 // the clock an oracle tuner would pick
+}
+
+func main() {
+	profile, err := golatest.ProfileByKey("gh200")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The runtime considers three operating points: a low clock for
+	// memory-bound phases, the ~75 % sweet spot the paper's related work
+	// identifies, and the maximum for compute-bound bursts. 1875 MHz is
+	// deliberately excluded below by the latency-aware policy.
+	clocks := []float64{1095, 1500, 1875, 1980}
+	res, err := golatest.Run(profile, golatest.Config{
+		Frequencies:      clocks,
+		MinMeasurements:  20,
+		MaxMeasurements:  32,
+		MaxLatencyHintNs: 550e6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the worst-case latency matrix the runtime plans with.
+	latency := map[[2]float64]float64{}
+	fmt.Println("measured worst-case switching latency matrix [ms]:")
+	for _, pr := range res.Pairs {
+		latency[[2]float64{pr.Pair.InitMHz, pr.Pair.TargetMHz}] = pr.Summary.Max
+		fmt.Printf("  %-18s %8.1f\n", pr.Pair.String(), pr.Summary.Max)
+	}
+
+	trace := syntheticTrace()
+	fmt.Printf("\nphase trace: %d phases, %.0f ms total\n", len(trace), traceLen(trace))
+
+	// The latency-aware policy refuses transitions whose worst case
+	// exceeds a tenth of the upcoming phase and avoids clocks whose
+	// inbound transitions are pathological.
+	awarePolicy := func(from, to float64, next phase) bool {
+		wc, ok := latency[[2]float64{from, to}]
+		if !ok {
+			return false
+		}
+		return wc <= next.durationMs/10
+	}
+
+	naive := plan(trace, latency, nil)
+	aware := plan(trace, latency, awarePolicy)
+
+	fmt.Printf("\n%-22s %12s %14s\n", "policy", "retunings", "overhead [ms]")
+	fmt.Printf("%-22s %12d %14.1f\n", "naive (always switch)", naive.switches, naive.overheadMs)
+	fmt.Printf("%-22s %12d %14.1f\n", "latency-aware", aware.switches, aware.overheadMs)
+	if aware.overheadMs >= naive.overheadMs {
+		log.Fatal("latency awareness did not pay off; check the matrix")
+	}
+	fmt.Printf("\noverhead saved by consulting the matrix: %.1f ms (%.0f%%)\n",
+		naive.overheadMs-aware.overheadMs,
+		100*(1-aware.overheadMs/naive.overheadMs))
+
+	// Close the loop in joules: replay the trace on fresh devices under
+	// three policies, letting the simulator's energy meter and the real
+	// transition behaviour (not the planner's estimates) decide.
+	fmt.Printf("\n%-22s %14s %14s\n", "replayed policy", "energy [J]", "makespan [s]")
+	static := replay(profile, trace, func(from, to float64, next phase) bool { return false })
+	naiveR := replay(profile, trace, func(from, to float64, next phase) bool { return true })
+	awareR := replay(profile, trace, awarePolicy)
+	fmt.Printf("%-22s %14.1f %14.3f\n", "static (stay at max)", static.energyJ, static.makespanS)
+	fmt.Printf("%-22s %14.1f %14.3f\n", "naive (always switch)", naiveR.energyJ, naiveR.makespanS)
+	fmt.Printf("%-22s %14.1f %14.3f\n", "latency-aware", awareR.energyJ, awareR.makespanS)
+	fmt.Printf("\nlatency-aware vs static: %.1f%% energy at %.1f%% runtime\n",
+		100*awareR.energyJ/static.energyJ, 100*awareR.makespanS/static.makespanS)
+}
+
+type replayResult struct {
+	energyJ   float64
+	makespanS float64
+}
+
+// replay executes the trace on a fresh simulated device: each phase's
+// work is fixed in cycles (its duration at the oracle clock), and the
+// device's energy meter plus the actual DVFS transition behaviour decide
+// the outcome.
+func replay(profile golatest.Profile, trace []phase, accept func(from, to float64, next phase) bool) replayResult {
+	dev, err := golatest.Open(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := dev.Sim()
+	clk := sim.Clock()
+	cur := profile.Config.MaxFreqMHz()
+	start := clk.Now()
+	e0 := sim.EnergyJ()
+	for _, ph := range trace {
+		if ph.bestClock != cur && accept(cur, ph.bestClock, ph) {
+			if err := dev.NVML().SetApplicationsClocks(0, ph.bestClock); err != nil {
+				log.Fatal(err)
+			}
+			cur = ph.bestClock
+		}
+		// Fixed work: the phase's duration at its oracle clock.
+		cycles := ph.durationMs * ph.bestClock * 1000
+		if _, err := sim.Launch(golatest.KernelSpec{
+			Iters: 1, CyclesPerIter: cycles, Blocks: 1,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		sim.Synchronize()
+	}
+	return replayResult{
+		energyJ:   sim.EnergyJ() - e0,
+		makespanS: float64(clk.Now()-start) / 1e9,
+	}
+}
+
+type planResult struct {
+	switches   int
+	overheadMs float64
+}
+
+// plan walks the trace switching toward each phase's best clock; accept
+// decides whether a transition is worth it (nil = always switch).
+func plan(trace []phase, latency map[[2]float64]float64, accept func(from, to float64, next phase) bool) planResult {
+	cur := trace[0].bestClock
+	var out planResult
+	for _, ph := range trace[1:] {
+		to := ph.bestClock
+		if to == cur {
+			continue
+		}
+		if accept != nil && !accept(cur, to, ph) {
+			continue // stay put: the transition would cost too much
+		}
+		wc, ok := latency[[2]float64{cur, to}]
+		if !ok {
+			wc = 500 // unmeasured pair: assume the worst
+		}
+		out.switches++
+		out.overheadMs += math.Min(wc, ph.durationMs)
+		cur = to
+	}
+	return out
+}
+
+func syntheticTrace() []phase {
+	// Alternating compute/memory phases with occasional short bursts —
+	// the §III boundary structure (COUNTDOWN's short/long regions).
+	var trace []phase
+	for i := 0; i < 30; i++ {
+		trace = append(trace,
+			phase{"compute", 900, 1980},
+			phase{"memory", 700, 1095},
+			phase{"burst", 40, 1875}, // short phase: switching to it is a trap
+			phase{"balanced", 500, 1500},
+		)
+	}
+	return trace
+}
+
+func traceLen(trace []phase) float64 {
+	var total float64
+	for _, ph := range trace {
+		total += ph.durationMs
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package golatest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfilesExposed(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("Profiles = %d", len(ps))
+	}
+	for _, key := range []string{"gh200", "a100", "rtx6000"} {
+		p, err := ProfileByKey(key)
+		if err != nil || p.Key != key {
+			t.Errorf("ProfileByKey(%q): %v, %v", key, p.Key, err)
+		}
+	}
+	if _, err := ProfileByKey("nope"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestA100UnitsDiffer(t *testing.T) {
+	a := A100Unit(0)
+	b := A100Unit(1)
+	if a.Config.Seed == b.Config.Seed {
+		t.Fatal("units share a seed")
+	}
+	if a.Instance != 0 || b.Instance != 1 {
+		t.Fatalf("instances: %d, %d", a.Instance, b.Instance)
+	}
+}
+
+func TestOpenAndRunQuickCampaign(t *testing.T) {
+	p, err := ProfileByKey("a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{
+		Frequencies:      []float64{705, 1410},
+		Blocks:           2,
+		MinMeasurements:  5,
+		MaxMeasurements:  8,
+		RSECheckEvery:    5,
+		MaxLatencyHintNs: 120_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(res.Pairs))
+	}
+	for _, pr := range res.Pairs {
+		if pr.Summary.N == 0 {
+			t.Fatalf("%v: no samples", pr.Pair)
+		}
+		if pr.Summary.Median < 3 || pr.Summary.Median > 60 {
+			t.Fatalf("%v: implausible median %v ms", pr.Pair, pr.Summary.Median)
+		}
+	}
+}
+
+func TestDeviceExposesGroundTruth(t *testing.T) {
+	p, _ := ProfileByKey("gh200")
+	dev, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.NVML().SetApplicationsClocks(0, 705); err != nil {
+		t.Fatal(err)
+	}
+	inj, ok := dev.Sim().LastInjection()
+	if !ok || inj.TargetMHz != 705 {
+		t.Fatalf("ground truth: %+v, %v", inj, ok)
+	}
+	if lat := float64(inj.SwitchingLatencyNs()) / 1e6; lat <= 0 || math.IsNaN(lat) {
+		t.Fatalf("injected latency = %v", lat)
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// KNNDistances returns, for each sample, the distance to its k-th nearest
+// neighbour (k ≥ 1, self excluded). The returned slice is in input order.
+// The classic DBSCAN eps heuristic reads the knee of the sorted version of
+// this curve; the paper instead relates its average to the 0.05–0.95
+// quantile range (§V-C), which AverageKNNDistance serves.
+func KNNDistances(xs []float64, k int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 || k <= 0 {
+		return out
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if k == 0 {
+		return out
+	}
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return xs[perm[a]] < xs[perm[b]] })
+	sorted := make([]float64, n)
+	for i, idx := range perm {
+		sorted[i] = xs[idx]
+	}
+
+	// In one dimension the k nearest neighbours of sorted[i] form a
+	// contiguous window around i; slide a two-pointer window of size k+1.
+	for i := 0; i < n; i++ {
+		lo, hi := i, i // window [lo, hi] inclusive, contains the point itself
+		for hi-lo < k {
+			switch {
+			case lo == 0:
+				hi++
+			case hi == n-1:
+				lo--
+			case sorted[i]-sorted[lo-1] <= sorted[hi+1]-sorted[i]:
+				lo--
+			default:
+				hi++
+			}
+		}
+		d := math.Max(sorted[i]-sorted[lo], sorted[hi]-sorted[i])
+		out[perm[i]] = d
+	}
+	return out
+}
+
+// AverageKNNDistance returns the mean k-NN distance over all samples.
+func AverageKNNDistance(xs []float64, k int) float64 {
+	ds := KNNDistances(xs, k)
+	if len(ds) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / float64(len(ds))
+}
+
+// KneeEps estimates a DBSCAN eps from the sorted k-NN distance curve by
+// locating its knee: the point of maximum distance from the chord joining
+// the curve's endpoints. This is the textbook alternative to the paper's
+// quantile-range multiplier; the experiments compare both.
+func KneeEps(xs []float64, k int) float64 {
+	ds := KNNDistances(xs, k)
+	if len(ds) < 3 {
+		if len(ds) == 0 {
+			return math.NaN()
+		}
+		return ds[len(ds)-1]
+	}
+	sort.Float64s(ds)
+	n := len(ds)
+	x1, y1 := 0.0, ds[0]
+	x2, y2 := float64(n-1), ds[n-1]
+	dx, dy := x2-x1, y2-y1
+	norm := math.Hypot(dx, dy)
+	if norm == 0 {
+		return ds[n-1]
+	}
+	bestIdx, bestDist := n-1, -1.0
+	for i := 0; i < n; i++ {
+		// Perpendicular distance of (i, ds[i]) from the chord.
+		d := math.Abs(dy*float64(i)-dx*ds[i]+x2*y1-y2*x1) / norm
+		if d > bestDist {
+			bestDist, bestIdx = d, i
+		}
+	}
+	return ds[bestIdx]
+}

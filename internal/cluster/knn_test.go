@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKNNDistancesSimple(t *testing.T) {
+	xs := []float64{0, 1, 3, 7}
+	// k=1 nearest-neighbour distances: 1, 1, 2, 4.
+	got := KNNDistances(xs, 1)
+	want := []float64{1, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KNN(1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKNNDistancesK2(t *testing.T) {
+	xs := []float64{0, 1, 3, 7}
+	// k=2: for 0 → {1,3} → 3; for 1 → {0,3} → 2; for 3 → {1,0 or 7}: nearest
+	// two of 3 are 1 (d=2) and 7 (d=4)? distances from 3: |3-1|=2, |3-0|=3,
+	// |3-7|=4 → second nearest = 3. For 7: {3,1} → 6.
+	got := KNNDistances(xs, 2)
+	want := []float64{3, 2, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KNN(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKNNDistancesKClamped(t *testing.T) {
+	xs := []float64{0, 10}
+	got := KNNDistances(xs, 99)
+	if got[0] != 10 || got[1] != 10 {
+		t.Fatalf("clamped k: %v", got)
+	}
+}
+
+func TestKNNDistancesDegenerate(t *testing.T) {
+	if got := KNNDistances(nil, 3); len(got) != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	got := KNNDistances([]float64{5}, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single point: %v", got)
+	}
+}
+
+// Property: the sliding-window k-NN matches a brute-force computation.
+func TestKNNMatchesBruteForceProperty(t *testing.T) {
+	f := func(raw []float64, kSeed uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 500))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		k := 1 + int(kSeed)%(len(xs)-1)
+		got := KNNDistances(xs, k)
+		for i, x := range xs {
+			ds := make([]float64, 0, len(xs)-1)
+			for j, y := range xs {
+				if i != j {
+					ds = append(ds, math.Abs(x-y))
+				}
+			}
+			sort.Float64s(ds)
+			if math.Abs(got[i]-ds[k-1]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageKNNDistance(t *testing.T) {
+	xs := []float64{0, 1, 3, 7}
+	want := (1.0 + 1 + 2 + 4) / 4
+	if got := AverageKNNDistance(xs, 1); got != want {
+		t.Fatalf("AverageKNNDistance = %v, want %v", got, want)
+	}
+	if got := AverageKNNDistance(nil, 1); !math.IsNaN(got) {
+		t.Fatalf("empty input = %v, want NaN", got)
+	}
+}
+
+func TestKneeEpsSeparatesDenseFromSparse(t *testing.T) {
+	// Dense cluster + far outliers: the knee eps must fall between the
+	// intra-cluster spacing and the outlier distances.
+	rng := rand.New(rand.NewPCG(5, 5))
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, 10+0.05*rng.NormFloat64())
+	}
+	xs = append(xs, 100, 200)
+	eps := KneeEps(xs, 4)
+	if eps <= 0 || eps >= 90 {
+		t.Fatalf("KneeEps = %v, want within (0, 90)", eps)
+	}
+	res := DBSCAN(xs, eps, 4)
+	if res.NoiseCount() < 2 {
+		t.Fatalf("knee eps failed to isolate outliers: noise=%d", res.NoiseCount())
+	}
+}
+
+func TestKneeEpsDegenerate(t *testing.T) {
+	if got := KneeEps(nil, 3); !math.IsNaN(got) {
+		t.Fatalf("empty = %v, want NaN", got)
+	}
+	if got := KneeEps([]float64{1, 1, 1, 1}, 2); got != 0 {
+		t.Fatalf("identical points knee = %v, want 0", got)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"golatest/internal/sim/gpu"
+	"golatest/internal/stats"
+)
+
+// blockVerdict is one SM's phase-3 outcome.
+type blockVerdict struct {
+	detected  bool
+	confirmed bool
+	teDevNs   int64
+	latencyMs float64
+	iterIndex int
+}
+
+// evaluate runs the phase-3 per-SM analysis (Algorithm 2 lines 9–24) over
+// all recorded blocks in parallel and reduces to the pair's switching
+// latency: the maximum accepted t_e − t_s across SMs.
+func (r *Runner) evaluate(blocks [][]gpu.IterSample, tsDevNs int64, target stats.MeanStd) (Measurement, error) {
+	verdicts := make([]blockVerdict, len(blocks))
+	var wg sync.WaitGroup
+	for i := range blocks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = r.evaluateBlock(blocks[i], tsDevNs, target)
+		}(i)
+	}
+	wg.Wait()
+
+	best := Measurement{LatencyMs: math.Inf(-1)}
+	anyDetected := false
+	accepted := false
+	for sm, v := range verdicts {
+		if v.detected {
+			anyDetected = true
+		}
+		if !v.confirmed {
+			continue
+		}
+		accepted = true
+		if v.latencyMs > best.LatencyMs {
+			best.LatencyMs = v.latencyMs
+			best.TeDevNs = v.teDevNs
+			best.SM = sm
+			best.TransitionIndex = v.iterIndex
+		}
+	}
+	if !accepted {
+		if anyDetected {
+			return Measurement{}, errConfirmFailed
+		}
+		return Measurement{}, errNoDetection
+	}
+	return best, nil
+}
+
+// evaluateBlock scans one SM's iteration trace: starting from the change
+// timestamp, it finds the first iteration whose duration falls inside the
+// SigmaK·σ band of the target population, then confirms that the
+// remaining iterations' mean matches the target mean (difference interval
+// containing zero, or relative difference under tolerance).
+func (r *Runner) evaluateBlock(iters []gpu.IterSample, tsDevNs int64, target stats.MeanStd) blockVerdict {
+	v := blockVerdict{}
+	band := r.cfg.SigmaK * target.Std
+	if r.cfg.CIDetection {
+		// FTaLaT-style detection: the confidence interval of the mean.
+		// With phase-1 populations of thousands of iterations this band
+		// collapses far below the iteration noise (§V-A).
+		band = r.cfg.SigmaK * target.StdErr()
+	}
+	detectIdx := -1
+	for i, it := range iters {
+		if it.StartNs < tsDevNs {
+			continue
+		}
+		durMs := float64(it.DurNs()) / 1e6
+		if math.Abs(durMs-target.Mean) <= band {
+			detectIdx = i
+			break
+		}
+	}
+	if detectIdx < 0 {
+		return v
+	}
+	v.detected = true
+	v.teDevNs = iters[detectIdx].EndNs
+	v.iterIndex = detectIdx
+
+	// Confirmation population: everything from the detected iteration on.
+	var acc stats.Accumulator
+	for _, it := range iters[detectIdx:] {
+		acc.Add(float64(it.DurNs()) / 1e6)
+	}
+	tail := acc.MeanStd()
+	if tail.N < 2 {
+		return v
+	}
+	iv := stats.MeanDiffCI(tail, target, r.cfg.Confidence)
+	relDiff := math.Abs(tail.Mean-target.Mean) / target.Mean
+	if !iv.ContainsZero() && relDiff >= r.cfg.RelTolerance {
+		// The device was still adapting: discard this run (§IV).
+		return v
+	}
+	v.confirmed = true
+	v.latencyMs = float64(v.teDevNs-tsDevNs) / 1e6
+	return v
+}

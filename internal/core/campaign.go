@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"golatest/internal/cluster"
+	"golatest/internal/sim/gpu"
+	"golatest/internal/stats"
+)
+
+// PairResult is the completed campaign of one frequency pair.
+type PairResult struct {
+	Pair Pair
+
+	// Measurements are the accepted observations in acquisition order
+	// (post throttle-discard).
+	Measurements []Measurement
+	// Samples are the switching latencies in ms (parallel to
+	// Measurements).
+	Samples []float64
+	// Injected are the simulator ground-truth latencies in ms (NaN-free
+	// only in simulation; parallel to Samples).
+	Injected []float64
+
+	// Attempts counts phase-2 runs including failed ones; Failures counts
+	// runs that produced no usable latency; DiscardedByThrottle counts
+	// measurements dropped by thermal backoff.
+	Attempts            int
+	Failures            int
+	DiscardedByThrottle int
+	ThrottleEvents      int
+
+	// Skipped marks pairs abandoned due to power throttling (§VI) with
+	// the reason recorded.
+	Skipped    bool
+	SkipReason string
+
+	// Kept and Outliers partition Samples by the adaptive DBSCAN filter;
+	// Clusters is the underlying clustering.
+	Kept     []float64
+	Outliers []float64
+	Clusters *cluster.Result
+
+	// Summary describes Kept; FinalRSE is the stopping-rule value over
+	// all samples.
+	Summary  stats.Summary
+	FinalRSE float64
+}
+
+// MeasurePair runs the full phase-2/3 campaign for one pair: repeated
+// measurements under the RSE stopping rule with throttle handling and
+// adaptive-capture retry, then outlier filtering.
+func (r *Runner) MeasurePair(pair Pair, p1 *Phase1Result) (*PairResult, error) {
+	if !pairValid(p1, pair) {
+		return nil, fmt.Errorf("core: pair %v was excluded in phase 1", pair)
+	}
+	initStat, targetStat, err := r.pairStats(pair, p1)
+	if err != nil {
+		return nil, err
+	}
+
+	pr := &PairResult{Pair: pair}
+	consecutiveFailures := 0
+	maxAttempts := 6 * r.cfg.MaxMeasurements
+
+	for len(pr.Samples) < r.cfg.MaxMeasurements && pr.Attempts < maxAttempts {
+		pr.Attempts++
+		m, err := r.MeasureOnce(pair, initStat, targetStat)
+		if err != nil {
+			var me *measureErr
+			if errors.As(err, &me) {
+				pr.Failures++
+				consecutiveFailures++
+				// §V: if the latency cannot be captured, retry with a
+				// longer workload (here: doubling the capture window,
+				// bounded — pairs that keep failing are unmeasurable, not
+				// under-captured).
+				if consecutiveFailures >= 3 {
+					const captureCapNs = 2_000_000_000
+					if next := 2 * r.effectiveCaptureNs(); next <= captureCapNs {
+						r.captureHintNs = next
+					}
+					consecutiveFailures = 0
+				}
+				continue
+			}
+			return nil, err
+		}
+		consecutiveFailures = 0
+		pr.Measurements = append(pr.Measurements, m)
+		pr.Samples = append(pr.Samples, m.LatencyMs)
+		pr.Injected = append(pr.Injected, m.InjectedMs)
+		n := len(pr.Samples)
+
+		// Throttle-reason poll every few passes (§VI).
+		if n%r.cfg.ThrottleCheckEvery == 0 {
+			reasons := r.dev.ClocksThrottleReasons()
+			if reasons.Has(gpu.ThrottlePower) {
+				pr.Skipped = true
+				pr.SkipReason = fmt.Sprintf(
+					"power throttling: clocks of %v cannot be sustained", pair)
+				break
+			}
+			if reasons.Has(gpu.ThrottleThermal) {
+				drop := r.cfg.ThrottleCheckEvery
+				if drop > n {
+					drop = n
+				}
+				pr.Measurements = pr.Measurements[:len(pr.Measurements)-drop]
+				pr.Samples = pr.Samples[:len(pr.Samples)-drop]
+				pr.Injected = pr.Injected[:len(pr.Injected)-drop]
+				pr.DiscardedByThrottle += drop
+				pr.ThrottleEvents++
+				r.ctx.Sleep(r.cfg.Cooldown)
+				continue
+			}
+		}
+
+		// RSE stopping rule every RSECheckEvery passes past the minimum.
+		if n >= r.cfg.MinMeasurements && n%r.cfg.RSECheckEvery == 0 {
+			if stats.RSE(pr.Samples) < r.cfg.RSETarget {
+				break
+			}
+		}
+	}
+
+	if len(pr.Samples) > 0 {
+		pr.FinalRSE = stats.RSE(pr.Samples)
+		// Algorithm 3 presumes "several hundred" measurements; below a
+		// couple of density thresholds DBSCAN degenerates (every point is
+		// low-density), so small campaigns keep all samples.
+		if len(pr.Samples) >= 5*r.cfg.Outlier.MinPtsFloor {
+			pr.Kept, pr.Outliers, pr.Clusters = cluster.FilterOutliers(pr.Samples, r.cfg.Outlier)
+		} else {
+			pr.Kept = append([]float64(nil), pr.Samples...)
+		}
+		pr.Summary = stats.Summarize(pr.Kept)
+	}
+	return pr, nil
+}
+
+// Result is a whole-campaign output: one PairResult per valid pair.
+type Result struct {
+	DeviceName    string
+	Architecture  string
+	Phase1        *Phase1Result
+	CaptureHintNs int64
+	Pairs         []*PairResult
+}
+
+// PairByFreqs finds the result for init→target, if measured.
+func (res *Result) PairByFreqs(init, target float64) (*PairResult, bool) {
+	for _, pr := range res.Pairs {
+		if pr.Pair.InitMHz == init && pr.Pair.TargetMHz == target {
+			return pr, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the complete campaign: phase 1, capture-bound probing when
+// no hint was configured, then the pair sweep in deterministic order.
+func (r *Runner) Run() (*Result, error) {
+	p1, err := r.Phase1()
+	if err != nil {
+		return nil, err
+	}
+	if r.captureHintNs == 0 {
+		if _, err := r.Probe(p1); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		DeviceName:    r.dev.Name(),
+		Architecture:  r.dev.Architecture(),
+		Phase1:        p1,
+		CaptureHintNs: r.captureHintNs,
+	}
+	for _, pair := range p1.ValidPairs {
+		pr, err := r.MeasurePair(pair, p1)
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs = append(res.Pairs, pr)
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"golatest/internal/hwprofile"
+	"golatest/internal/nvml"
+	"golatest/internal/sim/clock"
+)
+
+// profileRunner builds a runner over a hwprofile device with a reduced
+// frequency subset, as the full campaigns in internal/experiments do.
+func profileRunner(t *testing.T, p hwprofile.Profile, freqs []float64, cfg Config) *Runner {
+	t.Helper()
+	dev, err := p.NewDevice(clock.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := nvml.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := lib.DeviceHandleByIndex(0)
+	cfg.Frequencies = freqs
+	r, err := NewRunner(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestA100CampaignTracksGroundTruth is the central end-to-end validation:
+// on the calibrated A100 model, every accepted measurement must agree
+// with the simulator's injected switching latency within the detection
+// granularity (iteration time) plus synchronisation error.
+func TestA100CampaignTracksGroundTruth(t *testing.T) {
+	cfg := Config{
+		Blocks:           4,
+		MinMeasurements:  8,
+		MaxMeasurements:  16,
+		RSECheckEvery:    8,
+		MaxLatencyHintNs: 120_000_000,
+		Seed:             41,
+	}
+	r := profileRunner(t, hwprofile.A100(), []float64{705, 1065, 1410}, cfg)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(res.Pairs))
+	}
+	iterMs := r.Config().IterTargetNs / 1e6
+	total, checked := 0, 0
+	for _, pr := range res.Pairs {
+		for i, lat := range pr.Samples {
+			total++
+			inj := pr.Injected[i]
+			if math.IsNaN(inj) {
+				continue
+			}
+			checked++
+			// Expected positive bias: up to one blended iteration plus
+			// one full iteration per SM, maximised over SMs, plus the
+			// occasional iteration that misses the 2σ band (≈5 % each).
+			diff := lat - inj
+			if diff < -0.2*iterMs || diff > 6*iterMs {
+				t.Errorf("%v: measured %.3f vs injected %.3f (diff %.3f ms)",
+					pr.Pair, lat, inj, diff)
+			}
+		}
+	}
+	if total == 0 || checked != total {
+		t.Fatalf("validated %d/%d samples", checked, total)
+	}
+}
+
+// TestGH200PathologicalPairMeasurable exercises the adaptive-capture
+// retry on the slowest pair family (≈250–480 ms transitions).
+func TestGH200PathologicalPairMeasurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign")
+	}
+	cfg := Config{
+		Blocks:           3,
+		MinMeasurements:  6,
+		MaxMeasurements:  10,
+		RSECheckEvery:    6,
+		MaxLatencyHintNs: 500_000_000,
+		Seed:             43,
+	}
+	r := profileRunner(t, hwprofile.GH200(), []float64{1770, 1260}, cfg)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, ok := res.PairByFreqs(1770, 1260)
+	if !ok || len(pr.Samples) == 0 {
+		t.Fatal("pathological pair produced no samples")
+	}
+	// The pair's mixture spans tens to hundreds of ms; the campaign max
+	// must land in the pathological band.
+	if pr.Summary.Max < 100 {
+		t.Fatalf("pathological pair max = %v ms, want ≥ 100", pr.Summary.Max)
+	}
+	iterMs := r.Config().IterTargetNs / 1e6
+	for i, lat := range pr.Samples {
+		if diff := lat - pr.Injected[i]; diff < -0.2*iterMs || diff > 6*iterMs {
+			t.Errorf("sample %d: measured %.3f vs injected %.3f", i, lat, pr.Injected[i])
+		}
+	}
+}
+
+// TestRTXBandStructureSurvivesMethodology checks that the banded RTX
+// behaviour (fast band vs 135 ms wall) survives the full measurement
+// pipeline, not just the raw model.
+func TestRTXBandStructureSurvivesMethodology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign")
+	}
+	cfg := Config{
+		Blocks:           3,
+		MinMeasurements:  6,
+		MaxMeasurements:  10,
+		RSECheckEvery:    6,
+		MaxLatencyHintNs: 400_000_000,
+		Seed:             47,
+	}
+	r := profileRunner(t, hwprofile.RTXQuadro6000(), []float64{750, 1110, 1650}, cfg)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ok1 := res.PairByFreqs(1110, 750)
+	wall, ok2 := res.PairByFreqs(750, 1110)
+	if !ok1 || !ok2 {
+		t.Fatal("expected pairs missing")
+	}
+	if fast.Summary.Median > 60 {
+		t.Fatalf("fast-band pair median = %v, want ≲25", fast.Summary.Median)
+	}
+	if wall.Summary.Median < 60 {
+		t.Fatalf("mid-band pair median = %v, want ≈135", wall.Summary.Median)
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+func TestPhase1NormalityDiagnostic(t *testing.T) {
+	dev := testDevice(t, fixedModel{bus: 1000, dur: 5_000_000}, nil)
+	r, err := NewRunner(dev, quickConfig(600, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := r.Phase1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, st := range p1.Stats {
+		if !st.Normalish {
+			t.Errorf("clock %v flagged non-normal on a clean device (n=%d)", f, st.Iter.N)
+		}
+	}
+}

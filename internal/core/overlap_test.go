@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"golatest/internal/sim/gpu"
+)
+
+// TestOverlappingBandsPairUnmeasurable covers the degenerate regime the
+// closeness guard exists for: two clocks so close that the target's 2σ
+// band contains the initial clock's iterations. Phase 1's mean-difference
+// test still admits the pair (means are distinguishable at large n —
+// §V-A's point about intervals), but phase 3 must reject every run
+// instead of reporting near-zero switching latencies.
+func TestOverlappingBandsPairUnmeasurable(t *testing.T) {
+	dev := testDevice(t, fixedModel{bus: 50_000, dur: 8_000_000}, func(c *gpu.Config) {
+		// 0.33 % apart with ~0.5 % iteration noise: bands fully overlap.
+		c.FreqsMHz = []float64{1200, 1204}
+		c.IterJitterSigma = 0.005
+	})
+	cfg := quickConfig(1200, 1204)
+	cfg.MinMeasurements = 3
+	cfg.MaxMeasurements = 5
+	r, err := NewRunner(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := r.Phase1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := Pair{InitMHz: 1200, TargetMHz: 1204}
+	if pairValid(p1, pair) {
+		t.Fatalf("phase 1 admitted a pair whose population bands overlap: %+v", p1.ValidPairs)
+	}
+	found := false
+	for _, p := range p1.Excluded {
+		if p == pair {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pair missing from Excluded: %+v", p1.Excluded)
+	}
+}
+
+// TestAdjacentStepPairMeasurable is the complementary case: one 15 MHz
+// step at the bottom of the clock table (2.5 % apart) must remain
+// measurable with the default (quarter-percent) iteration noise, as the
+// paper's heatmaps include neighbouring-step pairs with ordinary
+// latencies.
+func TestAdjacentStepPairMeasurable(t *testing.T) {
+	dev := testDevice(t, fixedModel{bus: 50_000, dur: 8_000_000}, func(c *gpu.Config) {
+		c.FreqsMHz = []float64{600, 615}
+	})
+	cfg := quickConfig(600, 615)
+	r, err := NewRunner(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := r.Phase1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := r.MeasurePair(Pair{InitMHz: 615, TargetMHz: 600}, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Samples) < cfg.MinMeasurements {
+		t.Fatalf("adjacent-step pair under-measured: %d samples, %d failures",
+			len(pr.Samples), pr.Failures)
+	}
+	iterMs := r.Config().IterTargetNs / 1e6
+	for i, lat := range pr.Samples {
+		diff := lat - pr.Injected[i]
+		if diff < -0.2*iterMs || diff > 6*iterMs {
+			t.Fatalf("sample %d: measured %v vs injected %v", i, lat, pr.Injected[i])
+		}
+	}
+}

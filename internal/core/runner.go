@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"golatest/internal/cuda"
+	"golatest/internal/nvml"
+	"golatest/internal/ptp"
+	"golatest/internal/sim/clock"
+	"golatest/internal/sim/gpu"
+	"golatest/internal/stats"
+	"golatest/internal/workload"
+)
+
+// Runner drives a measurement campaign on one device.
+type Runner struct {
+	dev *nvml.Device
+	ctx *cuda.Context
+	cfg Config
+	rng *clock.Rand
+
+	// captureHintNs is the effective capture bound (config hint or probe
+	// result), mutable because adaptive retry may grow it.
+	captureHintNs int64
+}
+
+// NewRunner validates the configuration against the device and returns a
+// ready campaign runner.
+func NewRunner(dev *nvml.Device, cfg Config) (*Runner, error) {
+	cfg, err := cfg.withDefaults(dev)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := cuda.NewContext(dev.Sim())
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		dev:           dev,
+		ctx:           ctx,
+		cfg:           cfg,
+		rng:           clock.NewRand(cfg.Seed, 0x72756e6e6572), // "runner"
+		captureHintNs: cfg.MaxLatencyHintNs,
+	}, nil
+}
+
+// Config returns the runner's effective (default-filled) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Device returns the device under test.
+func (r *Runner) Device() *nvml.Device { return r.dev }
+
+// cyclesFor returns the per-iteration cycle budget that makes an
+// iteration last IterTargetNs at the slower clock of the pair.
+func (r *Runner) cyclesFor(pair Pair) float64 {
+	slow := math.Min(pair.InitMHz, pair.TargetMHz)
+	return workload.CyclesForIterDuration(r.cfg.IterTargetNs, slow)
+}
+
+// iterNsAt returns the nominal iteration duration at clock f for the
+// given cycle budget.
+func iterNsAt(cycles, f float64) float64 { return workload.IterDurationNs(cycles, f) }
+
+// FreqStats is the phase-1 characterisation of one clock: the iteration
+// duration population of the last warm kernel, in milliseconds.
+type FreqStats struct {
+	FreqMHz float64
+	Iter    stats.MeanStd // iteration duration, ms
+	// Normalish reports whether the population passed the Jarque–Bera
+	// diagnostic. The 2σ band and the pairwise tests assume approximate
+	// normality (§V-A); a false here flags a clock whose iteration
+	// distribution is skewed or heavy-tailed enough to distort them
+	// (e.g. residual throttling or a contaminated warm-up).
+	Normalish bool
+}
+
+// Phase1Result carries Algorithm 1's outputs.
+type Phase1Result struct {
+	// Stats maps each clock to its iteration statistics at the campaign's
+	// reference cycle budget.
+	Stats map[float64]FreqStats
+	// ValidPairs are the statistically distinguishable ordered pairs.
+	ValidPairs []Pair
+	// Excluded are the pairs whose mean-difference interval contained
+	// zero (measurement impossible: the transition end cannot be told
+	// apart from noise) or whose population bands overlap.
+	Excluded []Pair
+	// Unstable lists clocks the device never demonstrably reached during
+	// warm-up (e.g. power-capped); pairs touching them are excluded.
+	Unstable []float64
+}
+
+// refCycles returns the campaign-wide phase-1 cycle budget: iterations
+// sized at the slowest configured clock, so every clock's population uses
+// the same workload (a prerequisite for comparing their means).
+func (r *Runner) refCycles() float64 {
+	slow := r.cfg.Frequencies[0]
+	for _, f := range r.cfg.Frequencies[1:] {
+		if f < slow {
+			slow = f
+		}
+	}
+	return workload.CyclesForIterDuration(r.cfg.IterTargetNs, slow)
+}
+
+// plausiblyNormal is the phase-1 shape diagnostic. A full Jarque–Bera
+// test over-rejects here: the device timer's quantisation turns the
+// iteration population into a lattice whose tails are flatter than a
+// normal's, which is harmless for the 2σ band. Moment thresholds keep
+// the quantisation lattice while catching the departures that actually
+// distort the band: skew (residual throttling/adaptation in the window)
+// and heavy or strongly bimodal tails.
+func plausiblyNormal(xs []float64) bool {
+	g1 := stats.Skewness(xs)
+	g2 := stats.ExcessKurtosis(xs)
+	if math.IsNaN(g1) || math.IsNaN(g2) {
+		return true // too small to judge
+	}
+	return math.Abs(g1) < 0.5 && g2 > -1.5 && g2 < 3
+}
+
+// settleSleep waits long enough for a just-requested clock change to
+// complete: the capture hint (if known) plus slack, otherwise a
+// conservative second.
+func (r *Runner) settleSleep() {
+	slack := 50 * time.Millisecond
+	if r.captureHintNs > 0 {
+		r.ctx.Sleep(time.Duration(float64(r.captureHintNs)*1.2) + slack)
+		return
+	}
+	r.ctx.Sleep(time.Second + slack)
+}
+
+// Phase1 executes the warm-up and frequency-comparison phase.
+func (r *Runner) Phase1() (*Phase1Result, error) {
+	cycles := r.refCycles()
+	res := &Phase1Result{Stats: make(map[float64]FreqStats, len(r.cfg.Frequencies))}
+
+	unstable := map[float64]bool{}
+	for _, f := range r.cfg.Frequencies {
+		if err := r.dev.SetApplicationsClocks(0, f); err != nil {
+			return nil, fmt.Errorf("core: phase 1 clock %v: %w", f, err)
+		}
+		r.settleSleep()
+		// §V wake-up estimation: keep running warm kernels until the last
+		// kernel's mean matches the nominal iteration duration at the
+		// imposed clock. A fixed kernel count (or plateau detection
+		// alone) is unsafe: a slow or driver-delayed transition executes
+		// the early kernels at the previous clock, which also looks like
+		// a stable plateau. The nominal duration is known here because
+		// the runner authored the workload's cycle budget.
+		nominalMs := cycles / f / 1000
+		kernelNs := float64(r.cfg.ItersPerKernel) * workload.IterDurationNs(cycles, f)
+		maxRounds := r.cfg.WarmKernels + int(3e9/kernelNs) + 1
+		var last *gpu.Kernel
+		settled := false
+		for k := 0; k < maxRounds; k++ {
+			kern, err := r.ctx.LaunchKernel(gpu.KernelSpec{
+				Iters:         r.cfg.ItersPerKernel,
+				CyclesPerIter: cycles,
+				Blocks:        r.cfg.Blocks,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: phase 1 launch at %v MHz: %w", f, err)
+			}
+			r.ctx.DeviceSynchronize()
+			cur := stats.Describe(kern.DurationsMs())
+			last = kern
+			if k+1 >= r.cfg.WarmKernels &&
+				math.Abs(cur.Mean-nominalMs) < 0.02*nominalMs {
+				settled = true
+				break
+			}
+		}
+		if !settled {
+			unstable[f] = true
+			res.Unstable = append(res.Unstable, f)
+		}
+		durs := last.DurationsMs()
+		res.Stats[f] = FreqStats{
+			FreqMHz:   f,
+			Iter:      stats.Describe(durs),
+			Normalish: plausiblyNormal(durs),
+		}
+	}
+
+	for _, pair := range r.cfg.AllPairs() {
+		if unstable[pair.InitMHz] || unstable[pair.TargetMHz] {
+			res.Excluded = append(res.Excluded, pair)
+			continue
+		}
+		a := res.Stats[pair.InitMHz].Iter
+		b := res.Stats[pair.TargetMHz].Iter
+		iv := stats.MeanDiffCI(a, b, r.cfg.Confidence)
+		if iv.ContainsZero() || math.IsNaN(iv.Lo) {
+			res.Excluded = append(res.Excluded, pair)
+			continue
+		}
+		// The mean-difference interval alone degenerates at large n
+		// (§V-A): it can admit pairs whose iteration *populations*
+		// overlap, on which the phase-3 band detection would fire on
+		// initial-clock iterations and report near-zero latencies. A
+		// pair is measurable only when the means are separated beyond
+		// the detection band plus a tail margin of the noisier
+		// population, so initial-clock iterations essentially never
+		// enter the target band.
+		sep := math.Abs(a.Mean - b.Mean)
+		guard := (r.cfg.SigmaK + 3) * math.Max(a.Std, b.Std)
+		if sep <= guard {
+			res.Excluded = append(res.Excluded, pair)
+			continue
+		}
+		res.ValidPairs = append(res.ValidPairs, pair)
+	}
+	return res, nil
+}
+
+// Measurement is one accepted switching-latency observation.
+type Measurement struct {
+	Pair Pair
+	// LatencyMs is t_e − t_s in milliseconds (device timebase).
+	LatencyMs float64
+	// TsDevNs and TeDevNs are the change-request and detection timestamps
+	// on the device clock.
+	TsDevNs, TeDevNs int64
+	// SM is the block index that produced the maximal latency.
+	SM int
+	// TransitionIndex is the iteration index at which that block reached
+	// the target band.
+	TransitionIndex int
+	// InjectedMs is the simulator's ground-truth switching latency for
+	// this request. Real hardware cannot provide it; it exists to
+	// validate the methodology (NaN when unavailable).
+	InjectedMs float64
+	// SyncSpreadNs echoes the PTP dispersion during this measurement.
+	SyncSpreadNs int64
+}
+
+// measureErr classifies a failed measurement attempt.
+type measureErr struct {
+	reason string
+}
+
+func (e *measureErr) Error() string { return "core: measurement failed: " + e.reason }
+
+// errNoDetection marks runs where no SM saw a target-band iteration —
+// §V's "latency cannot be captured" case; the caller retries with a
+// longer workload.
+var errNoDetection = &measureErr{reason: "no iteration reached the target band (capture too short?)"}
+
+// errConfirmFailed marks runs where detection fired but the confirmation
+// population did not match the target clock (§IV's adaptation case).
+var errConfirmFailed = &measureErr{reason: "confirmation mean did not match the target clock"}
+
+// errInitUnstable marks runs where the device never stabilised at the
+// initial clock during warm-up (§V's wake-up verification).
+var errInitUnstable = &measureErr{reason: "device did not stabilise at the initial clock"}
+
+// ensureInitialClock runs warm-up kernels until the trailing iterations
+// match the initial clock's phase-1 characterisation, or gives up.
+func (r *Runner) ensureInitialClock(initStat stats.MeanStd, cycles, iterInitNs float64) error {
+	warmNs := 1.2*float64(r.effectiveCaptureNs()) + float64(50*time.Millisecond)
+	warmIters := int(warmNs/iterInitNs) + 1
+	const rounds = 5
+	for attempt := 0; attempt < rounds; attempt++ {
+		warm, err := r.ctx.LaunchKernel(gpu.KernelSpec{
+			Iters: warmIters, CyclesPerIter: cycles, Blocks: r.cfg.Blocks,
+		})
+		if err != nil {
+			return err
+		}
+		r.ctx.DeviceSynchronize()
+
+		// Compare the tail of each block against the init population.
+		stable := true
+		for _, block := range warm.Samples() {
+			tailStart := len(block) - 100
+			if tailStart < len(block)/2 {
+				tailStart = len(block) / 2
+			}
+			var acc stats.Accumulator
+			for _, it := range block[tailStart:] {
+				acc.Add(float64(it.DurNs()) / 1e6)
+			}
+			tail := acc.MeanStd()
+			if math.Abs(tail.Mean-initStat.Mean) >= r.cfg.RelTolerance*initStat.Mean {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return nil
+		}
+		// Not settled: the clock transition outlived this round; loop for
+		// another warm kernel (subsequent rounds run at clocks closer to
+		// the target, so coverage improves geometrically).
+	}
+	return errInitUnstable
+}
+
+// MeasureOnce performs one phase-2 run and phase-3 evaluation for the
+// pair. p1 must contain statistics for both clocks of the pair at the
+// pair's cycle budget — campaigns use pairStats to re-characterise.
+func (r *Runner) MeasureOnce(pair Pair, initStat, targetStat stats.MeanStd) (Measurement, error) {
+	cycles := r.cyclesFor(pair)
+	iterInitNs := iterNsAt(cycles, pair.InitMHz)
+
+	// (1) Timer synchronisation.
+	sync, err := ptp.Sync(r.ctx.Clock(), r.dev.Sim(), r.cfg.PTP, r.rng)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	// (2) Initial clock + warm-up workload: covers the clock transition
+	// to the initial frequency and any wake-up from idle. Per §V, the
+	// warm-up is verified, not assumed: the last iterations of each warm
+	// kernel must match the initial clock's characterisation before the
+	// benchmark proceeds. (Sizing alone is unsafe — a warm-up budgeted in
+	// init-clock iterations executes faster while the device still runs
+	// at a higher previous clock, so a driver-outlier transition can
+	// outlive it.)
+	if err := r.dev.SetApplicationsClocks(0, pair.InitMHz); err != nil {
+		return Measurement{}, err
+	}
+	if err := r.ensureInitialClock(initStat, cycles, iterInitNs); err != nil {
+		return Measurement{}, err
+	}
+
+	// (3) Benchmark kernel: delay + capture + confirmation regions.
+	captureIters := int(float64(r.effectiveCaptureNs())/r.cfg.IterTargetNs) + 1
+	spec := gpu.KernelSpec{
+		Iters:         r.cfg.DelayIters + captureIters + r.cfg.ConfirmIters,
+		CyclesPerIter: cycles,
+		Blocks:        r.cfg.Blocks,
+	}
+	bench, err := r.ctx.LaunchKernel(spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	// (4) Sleep through the delay region, then issue the change and stamp
+	// it (Algorithm 2 lines 5–7).
+	r.ctx.Usleep(int64(float64(r.cfg.DelayIters) * iterInitNs / 1000))
+	tsHost := r.ctx.HostTimestamp()
+	if err := r.dev.SetApplicationsClocks(0, pair.TargetMHz); err != nil {
+		return Measurement{}, err
+	}
+	injected := math.NaN()
+	if inj, ok := r.dev.Sim().LastInjection(); ok && inj.TargetMHz == pair.TargetMHz {
+		injected = float64(inj.SwitchingLatencyNs()) / 1e6
+	}
+
+	// (5) Wait for the kernel and evaluate per SM.
+	r.ctx.DeviceSynchronize()
+	tsDev := sync.HostToDevice(tsHost)
+
+	m, err := r.evaluate(bench.Samples(), tsDev, targetStat)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.Pair = pair
+	m.TsDevNs = tsDev
+	m.InjectedMs = injected
+	m.SyncSpreadNs = sync.SpreadNs
+	return m, nil
+}
+
+// effectiveCaptureNs returns the current capture bound.
+func (r *Runner) effectiveCaptureNs() int64 {
+	if r.captureHintNs > 0 {
+		return int64(float64(r.captureHintNs) * r.cfg.CaptureSafety)
+	}
+	return int64(time.Second) // conservative bootstrap
+}
+
+// Probe estimates the capture bound per §V: measure a few representative
+// pairs (low, medium, high clocks) with a generous capture window and
+// keep ten times the longest latency seen. The runner adopts the result.
+func (r *Runner) Probe(p1 *Phase1Result) (int64, error) {
+	freqs := append([]float64(nil), r.cfg.Frequencies...)
+	sort.Float64s(freqs)
+	lo, mid, hi := freqs[0], freqs[len(freqs)/2], freqs[len(freqs)-1]
+	candidates := []Pair{{lo, hi}, {hi, lo}, {mid, lo}, {lo, mid}, {mid, hi}}
+
+	saved := r.captureHintNs
+	r.captureHintNs = 0 // bootstrap window
+	defer func() {
+		if r.captureHintNs == 0 {
+			r.captureHintNs = saved
+		}
+	}()
+
+	var probes []int64
+	for _, pair := range candidates {
+		if pair.InitMHz == pair.TargetMHz || !pairValid(p1, pair) {
+			continue
+		}
+		is, ts, err := r.pairStats(pair, p1)
+		if err != nil {
+			return 0, err
+		}
+		m, err := r.MeasureOnce(pair, is, ts)
+		if err != nil {
+			continue // probe failures are tolerable; others will cover
+		}
+		probes = append(probes, int64(m.LatencyMs*1e6))
+	}
+	est := workload.EstimateCaptureNs(probes)
+	if est == 0 {
+		return 0, fmt.Errorf("core: probe captured no transitions; re-run with a larger MaxLatencyHintNs")
+	}
+	r.captureHintNs = est
+	return est, nil
+}
+
+func pairValid(p1 *Phase1Result, pair Pair) bool {
+	for _, v := range p1.ValidPairs {
+		if v == pair {
+			return true
+		}
+	}
+	return false
+}
+
+// pairStats converts phase-1 reference statistics to the pair's cycle
+// budget. Iteration durations scale linearly with the cycle budget, so
+// the mean and standard deviation rescale by the same factor.
+func (r *Runner) pairStats(pair Pair, p1 *Phase1Result) (initStat, targetStat stats.MeanStd, err error) {
+	ratio := r.cyclesFor(pair) / r.refCycles()
+	is, ok := p1.Stats[pair.InitMHz]
+	if !ok {
+		return initStat, targetStat, fmt.Errorf("core: no phase-1 stats for %v MHz", pair.InitMHz)
+	}
+	tsd, ok := p1.Stats[pair.TargetMHz]
+	if !ok {
+		return initStat, targetStat, fmt.Errorf("core: no phase-1 stats for %v MHz", pair.TargetMHz)
+	}
+	scale := func(m stats.MeanStd) stats.MeanStd {
+		return stats.MeanStd{N: m.N, Mean: m.Mean * ratio, Std: m.Std * ratio}
+	}
+	return scale(is.Iter), scale(tsd.Iter), nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"golatest/internal/sim/gpu"
+)
+
+func TestEstimateWakeupMatchesConfiguredDelay(t *testing.T) {
+	const wakeNs = 25_000_000 // 25 ms at idle clocks before the set clock
+	dev := testDevice(t, fixedModel{bus: 1000, dur: 2_000_000}, func(c *gpu.Config) {
+		c.WakeDelayNs = wakeNs
+		c.IdleTimeoutNs = 10_000_000
+	})
+	r, err := NewRunner(dev, quickConfig(600, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.EstimateWakeup(1200, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Stabilized {
+		t.Fatalf("device never stabilised: %+v", est)
+	}
+	// The estimate covers the idle-clock window plus one detection
+	// granule; allow generous slack for the iteration spanning the ramp.
+	if est.WakeupNs < wakeNs/2 || est.WakeupNs > 2*wakeNs {
+		t.Fatalf("WakeupNs = %d, want ≈%d", est.WakeupNs, wakeNs)
+	}
+	// The first iteration ran at idle clocks (600 MHz, the table floor,
+	// vs 1200 MHz): about 2× the settled duration.
+	if est.FirstIterMs < 1.5*est.SettledIterMs {
+		t.Fatalf("first iteration %v not slowed vs settled %v",
+			est.FirstIterMs, est.SettledIterMs)
+	}
+}
+
+func TestEstimateWakeupWarmDeviceIsFast(t *testing.T) {
+	dev := testDevice(t, fixedModel{bus: 1000, dur: 2_000_000}, func(c *gpu.Config) {
+		c.WakeDelayNs = 25_000_000
+		c.IdleTimeoutNs = int64(10 * time.Second) // effectively never idles
+	})
+	r, err := NewRunner(dev, quickConfig(600, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.EstimateWakeup(1200, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Stabilized {
+		t.Fatal("warm device did not stabilise")
+	}
+	// No idle drop: the very first iterations are already at the clock.
+	if est.WakeupNs > 2_000_000 {
+		t.Fatalf("warm device wake-up = %d ns, want ≲ one iteration", est.WakeupNs)
+	}
+}
+
+func TestEstimateWakeupUnsupportedClock(t *testing.T) {
+	dev := testDevice(t, fixedModel{bus: 1000, dur: 2_000_000}, nil)
+	r, err := NewRunner(dev, quickConfig(600, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EstimateWakeup(777, 0); err == nil {
+		t.Fatal("unsupported clock accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"golatest/internal/sim/clock"
+	"golatest/internal/sim/gpu"
+)
+
+// slowDownModel makes downward transitions dramatically slower than
+// upward ones — the shape that once produced false near-zero latencies:
+// a warm-up budgeted in initial-clock iterations executes much faster
+// while the device still runs at the higher previous clock, so a long
+// transition to the initial clock could outlive it, leaving the target
+// request a no-op (device already at the target).
+type slowDownModel struct{ downNs, upNs int64 }
+
+func (m slowDownModel) Sample(init, target float64, r *clock.Rand) gpu.Transition {
+	d := m.upNs
+	if target < init {
+		d = m.downNs
+	}
+	return gpu.Transition{BusDelayNs: 50_000, DurationNs: d - 50_000}
+}
+
+// TestWarmupOutlivesSlowInitTransition is the regression test for the
+// §V wake-up verification: with a 150 ms transition *down* to the
+// initial clock and a capture hint sized for the 8 ms *up* transitions,
+// naive warm-up sizing under-covers and the campaign would record
+// near-zero latencies. The stabilisation check must instead retry the
+// warm-up until the initial clock is confirmed.
+func TestWarmupOutlivesSlowInitTransition(t *testing.T) {
+	dev := testDevice(t, slowDownModel{downNs: 150_000_000, upNs: 8_000_000}, nil)
+	cfg := quickConfig(600, 1200)
+	cfg.MaxLatencyHintNs = 20_000_000 // sized for the up direction only
+	r, err := NewRunner(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := r.Phase1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measuring 600→1200 requires first settling at 600 — the slow
+	// direction the hint does not cover.
+	pr, err := r.MeasurePair(Pair{InitMHz: 600, TargetMHz: 1200}, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Samples) == 0 {
+		t.Fatalf("no samples (failures %d): stabilisation retries never converged", pr.Failures)
+	}
+	iterMs := r.Config().IterTargetNs / 1e6
+	for i, lat := range pr.Samples {
+		if lat < 1 {
+			t.Fatalf("sample %d: near-zero latency %v ms — target request hit an unchanged clock", i, lat)
+		}
+		if diff := lat - pr.Injected[i]; diff < -0.2*iterMs || diff > 6*iterMs {
+			t.Fatalf("sample %d: measured %v vs injected %v", i, lat, pr.Injected[i])
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) from simulated campaigns: Table I/II, the Fig. 3
+// heatmaps, the Fig. 4 violins, the Fig. 5/6 scatter structure, the
+// Fig. 7–9 manufacturing-variability study, the §VII-B cluster census,
+// the §V-A confidence-interval degeneration argument, and the headline
+// CPU-vs-GPU latency-scale comparison.
+//
+// Campaigns are expensive, so a Suite runs each one once and caches it;
+// every artefact derives from the cached results. Two scales exist:
+// ScaleQuick for benchmarks and tests (reduced frequency subsets and
+// repetition counts) and ScaleFull for the paper-shaped regeneration in
+// cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"golatest/internal/core"
+	"golatest/internal/hwprofile"
+	"golatest/internal/nvml"
+	"golatest/internal/sim/clock"
+)
+
+// Scale selects campaign sizes.
+type Scale int
+
+const (
+	// ScaleQuick uses small frequency subsets and repetition counts:
+	// suitable for go test and testing.B.
+	ScaleQuick Scale = iota
+	// ScaleFull uses the paper's evaluated frequency subsets and
+	// RSE-driven repetition, matching the published figures' shape.
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// Options configures a Suite.
+type Options struct {
+	Scale Scale
+	// Seed offsets every campaign's host-side randomness; distinct seeds
+	// give statistically independent replications.
+	Seed uint64
+}
+
+// Suite runs and caches the campaigns all artefacts derive from.
+type Suite struct {
+	opts Options
+
+	mu        sync.Mutex
+	campaigns map[string]*core.Result
+}
+
+// NewSuite creates an empty suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts, campaigns: make(map[string]*core.Result)}
+}
+
+// captureHints bound the capture window per architecture so campaigns
+// skip the probing phase (the probe is exercised separately in tests).
+var captureHints = map[string]int64{
+	"gh200":   550_000_000, // pathological targets reach ≈480 ms
+	"a100":    120_000_000,
+	"rtx6000": 420_000_000,
+}
+
+// quickFreqs are the reduced subsets: small, medium, and high clocks
+// including each architecture's pathological targets.
+var quickFreqs = map[string][]float64{
+	"gh200":   {705, 1095, 1260, 1500, 1875, 1980},
+	"a100":    {705, 885, 1065, 1215, 1410},
+	"rtx6000": {750, 930, 990, 1110, 1650},
+}
+
+// freqsFor returns the campaign frequency set of a profile at the given
+// scale.
+func (s *Suite) freqsFor(p hwprofile.Profile) []float64 {
+	if s.opts.Scale == ScaleFull {
+		return p.EvalFreqsMHz
+	}
+	return quickFreqs[p.Key]
+}
+
+// campaignConfig builds the core.Config of a campaign.
+func (s *Suite) campaignConfig(p hwprofile.Profile) core.Config {
+	cfg := core.Config{
+		Frequencies:      s.freqsFor(p),
+		MaxLatencyHintNs: captureHints[p.Key],
+		Seed:             s.opts.Seed + 0x5eed + uint64(p.Instance),
+	}
+	switch s.opts.Scale {
+	case ScaleFull:
+		cfg.Blocks = 4
+		cfg.MinMeasurements = 50
+		cfg.MaxMeasurements = 120
+		cfg.RSECheckEvery = 25
+	default:
+		// Quick campaigns still need enough samples for Algorithm 3's
+		// density assumptions (the paper gathers "several hundred").
+		cfg.Blocks = 3
+		cfg.MinMeasurements = 28
+		cfg.MaxMeasurements = 48
+		cfg.RSECheckEvery = 10
+	}
+	return cfg
+}
+
+// runCampaign executes one campaign on a fresh device.
+func (s *Suite) runCampaign(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+	dev, err := p.NewDevice(clock.New())
+	if err != nil {
+		return nil, err
+	}
+	lib, err := nvml.New(dev)
+	if err != nil {
+		return nil, err
+	}
+	h, err := lib.DeviceHandleByIndex(0)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.NewRunner(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Campaign returns the cached full campaign of a profile (keyed by
+// profile and instance), running it on first use.
+func (s *Suite) Campaign(p hwprofile.Profile) (*core.Result, error) {
+	key := fmt.Sprintf("%s/%d", p.Key, p.Instance)
+	s.mu.Lock()
+	cached, ok := s.campaigns[key]
+	s.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	res, err := s.runCampaign(p, s.campaignConfig(p))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.campaigns[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// CampaignByKey resolves the profile by key and returns its campaign.
+func (s *Suite) CampaignByKey(key string) (*core.Result, error) {
+	p, err := hwprofile.ByKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.Campaign(p)
+}
+
+// A100Instances returns campaigns for the four front-row A100 units of
+// §VII-C, run concurrently (each device owns an independent virtual
+// clock, so campaigns parallelise perfectly).
+func (s *Suite) A100Instances() ([]*core.Result, error) {
+	const units = 4
+	results := make([]*core.Result, units)
+	errs := make([]error, units)
+	var wg sync.WaitGroup
+	for i := 0; i < units; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Campaign(hwprofile.A100Instance(i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Prewarm runs the three main campaigns concurrently; artefact calls
+// afterwards hit the cache. Optional — artefacts run lazily regardless.
+func (s *Suite) Prewarm() error {
+	profiles := hwprofile.All()
+	errs := make([]error, len(profiles))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p hwprofile.Profile) {
+			defer wg.Done()
+			_, errs[i] = s.Campaign(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"golatest/internal/core"
+	"golatest/internal/hwprofile"
+	"golatest/internal/report"
+	"golatest/internal/stats"
+)
+
+// Table1Row is one column of the paper's Table I (hardware setup).
+type Table1Row struct {
+	Model        string
+	Architecture string
+	Driver       string
+	SMCount      int
+	MemFreqMHz   float64
+	MaxSMFreqMHz float64
+	NomSMFreqMHz float64
+	MinSMFreqMHz float64
+	FreqSteps    int
+}
+
+// Table1 reads the hardware setup from the profiles (no campaign needed).
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, p := range hwprofile.All() {
+		cfg := p.Config
+		rows = append(rows, Table1Row{
+			Model:        cfg.Name,
+			Architecture: cfg.Architecture,
+			Driver:       cfg.Driver,
+			SMCount:      cfg.SMCount,
+			MemFreqMHz:   cfg.MemFreqMHz,
+			MaxSMFreqMHz: cfg.MaxFreqMHz(),
+			NomSMFreqMHz: p.NomFreqMHz,
+			MinSMFreqMHz: cfg.MinFreqMHz(),
+			FreqSteps:    len(cfg.FreqsMHz),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 writes Table I as Markdown.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	header := []string{"Model", "Architecture", "SM [#]", "Driver",
+		"Mem freq. [MHz]", "Max SM freq. [MHz]", "Nom SM freq. [MHz]",
+		"Min SM freq. [MHz]", "SM freq. steps [#]"}
+	var data [][]string
+	for _, r := range rows {
+		data = append(data, []string{
+			r.Model, r.Architecture, fmt.Sprint(r.SMCount), r.Driver,
+			fmt.Sprintf("%.0f", r.MemFreqMHz), fmt.Sprintf("%.0f", r.MaxSMFreqMHz),
+			fmt.Sprintf("%.0f", r.NomSMFreqMHz), fmt.Sprintf("%.0f", r.MinSMFreqMHz),
+			fmt.Sprint(r.FreqSteps),
+		})
+	}
+	return report.MarkdownTable(w, header, data)
+}
+
+// Table2Row summarises one GPU's switching latencies like the paper's
+// Table II: statistics of the per-pair worst cases (campaign maxima) and
+// best cases (campaign minima), outliers removed.
+type Table2Row struct {
+	Model string
+
+	WorstMinMs   float64
+	WorstMinPair core.Pair
+	WorstMeanMs  float64
+	WorstMaxMs   float64
+	WorstMaxPair core.Pair
+
+	BestMinMs   float64
+	BestMinPair core.Pair
+	BestMeanMs  float64
+	BestMaxMs   float64
+	BestMaxPair core.Pair
+}
+
+// Table2 derives the summary from the three cached campaigns.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, p := range hwprofile.All() {
+		res, err := s.Campaign(p)
+		if err != nil {
+			return nil, err
+		}
+		row, err := table2Row(res)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2Row(res *core.Result) (Table2Row, error) {
+	row := Table2Row{Model: res.DeviceName}
+	var worst, best []float64
+	row.WorstMinMs, row.BestMinMs = math.Inf(1), math.Inf(1)
+	row.WorstMaxMs, row.BestMaxMs = math.Inf(-1), math.Inf(-1)
+	for _, pr := range res.Pairs {
+		if pr.Skipped || pr.Summary.N == 0 {
+			continue
+		}
+		w, b := pr.Summary.Max, pr.Summary.Min
+		worst = append(worst, w)
+		best = append(best, b)
+		if w < row.WorstMinMs {
+			row.WorstMinMs, row.WorstMinPair = w, pr.Pair
+		}
+		if w > row.WorstMaxMs {
+			row.WorstMaxMs, row.WorstMaxPair = w, pr.Pair
+		}
+		if b < row.BestMinMs {
+			row.BestMinMs, row.BestMinPair = b, pr.Pair
+		}
+		if b > row.BestMaxMs {
+			row.BestMaxMs, row.BestMaxPair = b, pr.Pair
+		}
+	}
+	if len(worst) == 0 {
+		return row, fmt.Errorf("experiments: campaign %s has no usable pairs", res.DeviceName)
+	}
+	row.WorstMeanMs = stats.Mean(worst)
+	row.BestMeanMs = stats.Mean(best)
+	return row, nil
+}
+
+// RenderTable2 writes Table II as Markdown.
+func RenderTable2(w io.Writer, rows []Table2Row) error {
+	header := []string{"Model", "Case", "Min [ms]", "Min transition",
+		"Mean [ms]", "Max [ms]", "Max transition"}
+	var data [][]string
+	for _, r := range rows {
+		data = append(data, []string{
+			r.Model, "worst",
+			fmt.Sprintf("%.3f", r.WorstMinMs), r.WorstMinPair.String(),
+			fmt.Sprintf("%.3f", r.WorstMeanMs),
+			fmt.Sprintf("%.3f", r.WorstMaxMs), r.WorstMaxPair.String(),
+		})
+		data = append(data, []string{
+			r.Model, "best",
+			fmt.Sprintf("%.3f", r.BestMinMs), r.BestMinPair.String(),
+			fmt.Sprintf("%.3f", r.BestMeanMs),
+			fmt.Sprintf("%.3f", r.BestMaxMs), r.BestMaxPair.String(),
+		})
+	}
+	return report.MarkdownTable(w, header, data)
+}

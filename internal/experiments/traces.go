@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"golatest/internal/ftalat"
+	"golatest/internal/sim/clock"
+	"golatest/internal/sim/cpu"
+	"golatest/internal/sim/gpu"
+	"golatest/internal/stats"
+)
+
+// TracePoint is one sample of a frequency-change timeline (Fig. 1/2):
+// virtual time relative to the change request, the effective clock, and
+// an optional event annotation.
+type TracePoint struct {
+	TimeMs  float64
+	FreqMHz float64
+	Event   string
+}
+
+// skylakeCore builds the CPU the FTaLaT-side experiments run on: a
+// Skylake-SP-like core with tens-of-µs transitions (Fig. 1's regime).
+func skylakeCore(seed uint64) (*cpu.Core, error) {
+	return cpu.New(cpu.Config{
+		Name:     "Skylake-SP (simulated)",
+		FreqsMHz: []float64{1200, 1500, 1800, 2100, 2400, 2700, 3000, 3300, 3600},
+		Transition: cpu.UniformTransition{
+			BaseNs:      25_000,
+			JitterNs:    20_000,
+			UpPenaltyNs: 25_000,
+		},
+		Seed: seed,
+	}, clock.New())
+}
+
+// Fig1CPUTrace samples a CPU frequency change: request, the transition
+// window at the old clock, and the settled new clock.
+func Fig1CPUTrace() ([]TracePoint, error) {
+	c, err := skylakeCore(1)
+	if err != nil {
+		return nil, err
+	}
+	clk := c.Clock()
+	if _, err := c.SetFrequency(3600); err != nil {
+		return nil, err
+	}
+	clk.Advance(1_000_000)
+	t0 := clk.Now()
+	inj, err := c.SetFrequency(1200)
+	if err != nil {
+		return nil, err
+	}
+	var trace []TracePoint
+	add := func(event string) {
+		trace = append(trace, TracePoint{
+			TimeMs:  float64(clk.Now()-t0) / 1e6,
+			FreqMHz: c.CurrentFreqMHz(),
+			Event:   event,
+		})
+	}
+	add("request issued")
+	for clk.Now() < inj.CompleteNs+50_000 {
+		clk.Advance(10_000)
+		add("")
+	}
+	add("settled")
+	return annotateChange(trace), nil
+}
+
+// Fig2GPUTrace samples an accelerator frequency change: the request on
+// the CPU, its arrival at the device after the bus delay, the transition,
+// and the settled clock — the switching-vs-transition split of Fig. 2.
+func Fig2GPUTrace() ([]TracePoint, error) {
+	clk := clock.New()
+	dev, err := gpu.New(gpu.Config{
+		Name:     "trace-gpu",
+		SMCount:  4,
+		FreqsMHz: []float64{600, 900, 1200, 1500},
+		Latency:  traceModel{},
+		Seed:     2,
+	}, clk)
+	if err != nil {
+		return nil, err
+	}
+	clk.Advance(1_000_000)
+	t0 := clk.Now()
+	inj, err := dev.SetFrequency(600)
+	if err != nil {
+		return nil, err
+	}
+	var trace []TracePoint
+	add := func(event string) {
+		trace = append(trace, TracePoint{
+			TimeMs:  float64(clk.Now()-t0) / 1e6,
+			FreqMHz: dev.CurrentFreqMHz(),
+			Event:   event,
+		})
+	}
+	add("request issued on CPU")
+	clk.AdvanceTo(inj.ApplyNs)
+	add("request received by ACC")
+	for clk.Now() < inj.CompleteNs+1_000_000 {
+		clk.Advance(500_000)
+		add("")
+	}
+	add("settled")
+	return annotateChange(trace), nil
+}
+
+// traceModel gives the Fig. 2 trace a visible bus delay and transition.
+type traceModel struct{}
+
+func (traceModel) Sample(init, target float64, r *clock.Rand) gpu.Transition {
+	return gpu.Transition{BusDelayNs: 2_000_000, DurationNs: 10_000_000}
+}
+
+// annotateChange marks the first sample at the new clock.
+func annotateChange(trace []TracePoint) []TracePoint {
+	if len(trace) == 0 {
+		return trace
+	}
+	initial := trace[0].FreqMHz
+	for i := range trace {
+		if trace[i].FreqMHz != initial {
+			if trace[i].Event == "" {
+				trace[i].Event = "new frequency effective"
+			}
+			break
+		}
+	}
+	return trace
+}
+
+// CIDegenRow is one row of the §V-A degeneration study: phase-1
+// population size, the resulting FTaLaT detection-interval width, the
+// share of iterations that fall inside it, and the measured mean number
+// of iterations scanned before detection.
+type CIDegenRow struct {
+	N                int
+	BandUs           float64
+	InBandShare      float64
+	MeanDetectIters  float64
+	FailedDetections int
+}
+
+// CIDegeneration measures how FTaLaT's mean±2·stderr detection interval
+// collapses as the phase-1 population grows — the §V-A argument for the
+// accelerator methodology's 2σ band. Samples per population size come
+// from the simulated Skylake core.
+func CIDegeneration(sizes []int) ([]CIDegenRow, error) {
+	var rows []CIDegenRow
+	for _, n := range sizes {
+		c, err := skylakeCore(uint64(10 + n))
+		if err != nil {
+			return nil, err
+		}
+		r, err := ftalat.NewRunner(c, ftalat.Config{
+			Frequencies:  []float64{1200, 2400},
+			MeasureIters: n,
+			Repeats:      10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p1, err := r.Phase1()
+		if err != nil {
+			return nil, err
+		}
+		target := p1.Stats[1200]
+		band := 2 * target.StdErr()
+		// Share of individual iterations inside mean ± band, assuming
+		// the population is approximately normal.
+		z := band / target.Std
+		inBand := stats.NormalCDF(z) - stats.NormalCDF(-z)
+
+		row := CIDegenRow{N: n, BandUs: band, InBandShare: inBand}
+		var sum float64
+		var ok int
+		for i := 0; i < 10; i++ {
+			m, err := r.MeasureOnce(ftalat.Pair{InitMHz: 2400, TargetMHz: 1200}, target)
+			if err != nil {
+				row.FailedDetections++
+				continue
+			}
+			sum += float64(m.DetectIters)
+			ok++
+		}
+		if ok > 0 {
+			row.MeanDetectIters = sum / float64(ok)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CPUvsGPURow is the §VII headline comparison: transition scale per
+// platform.
+type CPUvsGPURow struct {
+	Platform string
+	MedianMs float64
+	MaxMs    float64
+}
+
+// CPUvsGPU runs FTaLaT on the simulated CPU and summarises the cached GPU
+// campaigns, demonstrating "CPUs complete the frequency transitions in
+// microseconds ... while GPUs require tens to hundreds of milliseconds".
+func (s *Suite) CPUvsGPU() ([]CPUvsGPURow, error) {
+	c, err := skylakeCore(77)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ftalat.NewRunner(c, ftalat.Config{
+		Frequencies: []float64{1200, 2400, 3600},
+		Repeats:     15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cpuRes, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	var cpuAll []float64
+	for _, pr := range cpuRes.Pairs {
+		for _, us := range pr.Samples {
+			cpuAll = append(cpuAll, us/1000) // µs → ms
+		}
+	}
+	cpuSummary := stats.Summarize(cpuAll)
+	rows := []CPUvsGPURow{{
+		Platform: cpuRes.CoreName,
+		MedianMs: cpuSummary.Median,
+		MaxMs:    cpuSummary.Max,
+	}}
+
+	for _, key := range []string{"rtx6000", "a100", "gh200"} {
+		res, err := s.CampaignByKey(key)
+		if err != nil {
+			return nil, err
+		}
+		var all []float64
+		for _, pr := range res.Pairs {
+			all = append(all, pr.Kept...)
+		}
+		sm := stats.Summarize(all)
+		rows = append(rows, CPUvsGPURow{Platform: res.DeviceName, MedianMs: sm.Median, MaxMs: sm.Max})
+	}
+	return rows, nil
+}
+
+// RenderTrace writes a trace as an aligned text table.
+func RenderTrace(trace []TracePoint) string {
+	out := fmt.Sprintf("%10s %10s  %s\n", "t [ms]", "f [MHz]", "event")
+	for _, tp := range trace {
+		if tp.Event == "" {
+			continue
+		}
+		out += fmt.Sprintf("%10.3f %10.0f  %s\n", tp.TimeMs, tp.FreqMHz, tp.Event)
+	}
+	return out
+}

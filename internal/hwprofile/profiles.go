@@ -1,0 +1,152 @@
+package hwprofile
+
+import (
+	"fmt"
+
+	"golatest/internal/sim/clock"
+	"golatest/internal/sim/gpu"
+)
+
+// Profile bundles one paper GPU: its simulator configuration (including
+// the calibrated latency model) and the frequency subset the paper's
+// figures evaluate.
+type Profile struct {
+	// Key identifies the profile in CLIs and file names:
+	// "gh200", "a100", "rtx6000".
+	Key string
+	// Config is the full device configuration, ready for gpu.New.
+	Config gpu.Config
+	// EvalFreqsMHz is the frequency subset used in the paper's heatmaps.
+	EvalFreqsMHz []float64
+	// NomFreqMHz is the nominal (boost-base) clock from Table I.
+	NomFreqMHz float64
+	// Instance is the unit index for multi-GPU variability studies.
+	Instance int
+}
+
+// NewDevice instantiates the simulated device on the given host clock.
+func (p Profile) NewDevice(clk *clock.Clock) (*gpu.Device, error) {
+	return gpu.New(p.Config, clk)
+}
+
+// freqSteps builds an inclusive ascending clock table.
+func freqSteps(lo, hi, step float64) []float64 {
+	var out []float64
+	for f := lo; f <= hi+1e-9; f += step {
+		out = append(out, f)
+	}
+	return out
+}
+
+// deviceClockQuirks derives a plausible device-clock offset and drift
+// from the seed, giving the PTP phase real work.
+func deviceClockQuirks(seed uint64) (offsetNs int64, driftPPM float64) {
+	h1 := pairHash(seed, 1, 2, 0xc10c)
+	h2 := pairHash(seed, 3, 4, 0xd41f)
+	return int64(50e6 + h1*400e6), (h2 - 0.5) * 6 // 50–450 ms, ±3 ppm
+}
+
+// GH200 returns the Grace Hopper module's H100-class GPU profile
+// (Table I column 3).
+func GH200() Profile {
+	const seed = 0x6768323030 // "gh200"
+	model := gh200Model(seed, 0)
+	offset, drift := deviceClockQuirks(seed)
+	return Profile{
+		Key: "gh200",
+		Config: gpu.Config{
+			Name:           "GH200",
+			Architecture:   "Hopper",
+			Driver:         "545.23.08",
+			SMCount:        132,
+			MemFreqMHz:     2619,
+			FreqsMHz:       freqSteps(345, 1980, 15), // 110 steps
+			DefaultFreqMHz: 1980,
+			ClockOffsetNs:  offset,
+			ClockDriftPPM:  drift,
+			Latency:        model,
+			Seed:           seed,
+		},
+		EvalFreqsMHz: []float64{705, 795, 885, 975, 1095, 1170, 1260, 1275,
+			1290, 1350, 1410, 1500, 1665, 1770, 1830, 1875, 1920, 1980},
+		NomFreqMHz: 1980,
+	}
+}
+
+// A100 returns the A100-SXM4 profile (Table I column 2), unit 0.
+func A100() Profile { return A100Instance(0) }
+
+// A100Instance returns one of the four front-row A100 units of §VII-C.
+// Instances share every pair's mixture structure (the same targets are
+// slow on every unit) but carry small unit-specific offsets, reproducing
+// the Fig. 7/8 spread without any unit being uniformly worse (Fig. 9).
+func A100Instance(idx int) Profile {
+	const seed = 0x61313030 // "a100"
+	model := a100Model(seed, uint64(idx))
+	offset, drift := deviceClockQuirks(seed + uint64(idx)*977)
+	return Profile{
+		Key: "a100",
+		Config: gpu.Config{
+			Name:           fmt.Sprintf("A100-SXM4[%d]", idx),
+			Architecture:   "Ampere",
+			Driver:         "550.54.15",
+			SMCount:        108,
+			MemFreqMHz:     1215,
+			FreqsMHz:       freqSteps(210, 1410, 15), // 81 steps
+			DefaultFreqMHz: 1410,
+			ClockOffsetNs:  offset,
+			ClockDriftPPM:  drift,
+			Latency:        model,
+			Seed:           seed + uint64(idx)*7919,
+		},
+		EvalFreqsMHz: []float64{705, 750, 795, 840, 885, 930, 975, 1020,
+			1065, 1095, 1125, 1170, 1215, 1260, 1305, 1350, 1395, 1410},
+		NomFreqMHz: 1095,
+		Instance:   idx,
+	}
+}
+
+// RTXQuadro6000 returns the professional Turing card's profile
+// (Table I column 1).
+func RTXQuadro6000() Profile {
+	const seed = 0x727478 // "rtx"
+	model := rtxModel(seed, 0)
+	offset, drift := deviceClockQuirks(seed)
+	// 300–2070 MHz in 15 MHz steps plus the 2100 MHz boost ceiling:
+	// 120 programmable steps, matching Table I.
+	freqs := append(freqSteps(300, 2070, 15), 2100)
+	return Profile{
+		Key: "rtx6000",
+		Config: gpu.Config{
+			Name:           "RTX Quadro 6000",
+			Architecture:   "Turing",
+			Driver:         "530.41.03",
+			SMCount:        72,
+			MemFreqMHz:     7001,
+			FreqsMHz:       freqs,
+			DefaultFreqMHz: 2100,
+			ClockOffsetNs:  offset,
+			ClockDriftPPM:  drift,
+			Latency:        model,
+			Seed:           seed,
+		},
+		EvalFreqsMHz: []float64{750, 810, 930, 990, 1050, 1110, 1170, 1290,
+			1350, 1410, 1440, 1470, 1560, 1650},
+		NomFreqMHz: 1440,
+	}
+}
+
+// All returns the three paper profiles in Table I order.
+func All() []Profile {
+	return []Profile{RTXQuadro6000(), A100(), GH200()}
+}
+
+// ByKey resolves a profile key ("gh200", "a100", "rtx6000").
+func ByKey(key string) (Profile, error) {
+	for _, p := range All() {
+		if p.Key == key {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("hwprofile: unknown profile %q (want gh200, a100, or rtx6000)", key)
+}

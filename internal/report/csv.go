@@ -1,0 +1,84 @@
+// Package report renders campaign results into the artefact formats the
+// paper's tooling and figures use: per-pair CSV files under the LATEST
+// naming convention (§VI), ASCII/CSV heatmaps (Fig. 3, 7, 8), violin and
+// box summaries (Fig. 4, 9), scatter exports (Fig. 5, 6), and Markdown
+// tables (Tables I, II).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVFileName builds the LATEST output-file convention: the initial and
+// target frequency, the hostname, and the GPU index, so results from many
+// experiments can be organised and retrieved mechanically.
+func CSVFileName(initMHz, targetMHz float64, hostname string, gpuIndex int) string {
+	return fmt.Sprintf("latencies_%.0f_%.0f_%s_gpu%d.csv", initMHz, targetMHz, hostname, gpuIndex)
+}
+
+// WriteLatencyCSV writes one pair's switching latencies (ms), one row per
+// measurement with its acquisition index.
+func WriteLatencyCSV(w io.Writer, latenciesMs []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"measurement", "switching_latency_ms"}); err != nil {
+		return err
+	}
+	for i, v := range latenciesMs {
+		rec := []string{strconv.Itoa(i), strconv.FormatFloat(v, 'f', 6, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadLatencyCSV parses a file produced by WriteLatencyCSV.
+func ReadLatencyCSV(r io.Reader) ([]float64, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("report: empty latency CSV")
+	}
+	if len(records[0]) != 2 || records[0][1] != "switching_latency_ms" {
+		return nil, fmt.Errorf("report: unexpected header %v", records[0])
+	}
+	out := make([]float64, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("report: row %d: %w", i+1, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// WriteScatterCSV exports (index, latency) pairs for scatter plots like
+// Fig. 5 and Fig. 6, with an extra column flagging DBSCAN outliers.
+func WriteScatterCSV(w io.Writer, latenciesMs []float64, outlier []bool) error {
+	if outlier != nil && len(outlier) != len(latenciesMs) {
+		return fmt.Errorf("report: outlier flags length %d != samples %d", len(outlier), len(latenciesMs))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"measurement", "switching_latency_ms", "outlier"}); err != nil {
+		return err
+	}
+	for i, v := range latenciesMs {
+		flag := "0"
+		if outlier != nil && outlier[i] {
+			flag = "1"
+		}
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(v, 'f', 6, 64), flag}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,92 @@
+package clock
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is the simulator's deterministic random stream.
+//
+// Each independently evolving component (one per GPU device, one per link,
+// one per workload) derives its own child stream so that adding draws in
+// one component never perturbs another — a requirement for the
+// measured-vs-injected validation tests, which re-run campaigns with the
+// same seed and expect bit-identical device behaviour.
+type Rand struct {
+	src *rand.Rand
+}
+
+// NewRand returns a stream seeded from the two 64-bit words.
+// The same (seed1, seed2) always produces the same draw sequence.
+func NewRand(seed1, seed2 uint64) *Rand {
+	return &Rand{src: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Child derives an independent stream labelled by the given tag.
+// Distinct tags yield streams that do not share state with the parent or
+// with each other.
+func (r *Rand) Child(tag uint64) *Rand {
+	// Mix the tag through SplitMix64 so that small consecutive tags give
+	// well-separated PCG seeds.
+	z := tag + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &Rand{src: rand.New(rand.NewPCG(r.src.Uint64()^z, z))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// IntN returns a uniform integer in [0, n).
+func (r *Rand) IntN(n int) int { return r.src.IntN(n) }
+
+// Normal returns a draw from the normal distribution N(mean, sigma²).
+func (r *Rand) Normal(mean, sigma float64) float64 {
+	return mean + sigma*r.src.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma²)); used for heavy-tailed driver
+// latencies where occasional large values must remain positive.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// Exp returns an exponential draw with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.src.ExpFloat64() * mean
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.src.Float64() < p }
+
+// PickWeighted returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Weights must be non-negative with a positive
+// sum; otherwise index 0 is returned.
+func (r *Rand) PickWeighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.src.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

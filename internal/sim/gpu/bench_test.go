@@ -1,0 +1,72 @@
+package gpu
+
+import (
+	"testing"
+
+	"golatest/internal/sim/clock"
+)
+
+// BenchmarkKernelMaterialization measures the simulator's hot path: the
+// per-iteration timeline integration across a mid-kernel clock change.
+func BenchmarkKernelMaterialization(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clk := clock.New()
+		d, err := New(Config{
+			Name:     "bench-gpu",
+			SMCount:  4,
+			FreqsMHz: []float64{600, 1200},
+			Latency:  fixedModel{bus: 50_000, dur: 10_000_000},
+			Seed:     uint64(i),
+		}, clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := d.Launch(KernelSpec{Iters: 2000, CyclesPerIter: 150_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(5_000_000)
+		if _, err := d.SetFrequency(600); err != nil {
+			b.Fatal(err)
+		}
+		d.Synchronize()
+		if !k.Done() {
+			b.Fatal("kernel not materialised")
+		}
+	}
+}
+
+// BenchmarkTimelineLookups measures randomish-access frequency queries
+// against a long timeline.
+func BenchmarkTimelineLookups(b *testing.B) {
+	tl := newTimeline(0, 1000)
+	for t := int64(1); t <= 1000; t++ {
+		tl.add(t*1_000_000, 500+float64(t%100)*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.freqAt(int64(i%1000) * 997_000)
+	}
+}
+
+// BenchmarkDeviceTimeAt measures the timestamp conversion used for every
+// recorded iteration boundary.
+func BenchmarkDeviceTimeAt(b *testing.B) {
+	d, err := New(Config{
+		Name:          "bench-gpu",
+		SMCount:       1,
+		FreqsMHz:      []float64{1000},
+		ClockOffsetNs: 123_456_789,
+		ClockDriftPPM: 3,
+		Latency:       fixedModel{},
+		Seed:          1,
+	}, clock.New())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DeviceTimeAt(int64(i) * 1013)
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func normals(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 2*rng.NormFloat64()
+	}
+	return xs
+}
+
+func exponentials(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 2))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	return xs
+}
+
+func TestSkewnessSymmetricNearZero(t *testing.T) {
+	if got := Skewness(normals(20000, 3)); math.Abs(got) > 0.05 {
+		t.Fatalf("normal skewness = %v, want ≈0", got)
+	}
+}
+
+func TestSkewnessRightSkewPositive(t *testing.T) {
+	if got := Skewness(exponentials(20000, 4)); got < 1.5 {
+		t.Fatalf("exponential skewness = %v, want ≈2", got)
+	}
+}
+
+func TestExcessKurtosis(t *testing.T) {
+	if got := ExcessKurtosis(normals(40000, 5)); math.Abs(got) > 0.15 {
+		t.Fatalf("normal excess kurtosis = %v, want ≈0", got)
+	}
+	if got := ExcessKurtosis(exponentials(40000, 6)); got < 4 {
+		t.Fatalf("exponential excess kurtosis = %v, want ≈6", got)
+	}
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	if !math.IsNaN(Skewness([]float64{1, 2})) {
+		t.Error("skewness of n=2 not NaN")
+	}
+	if !math.IsNaN(ExcessKurtosis([]float64{1, 2, 3})) {
+		t.Error("kurtosis of n=3 not NaN")
+	}
+	if !math.IsNaN(Skewness([]float64{5, 5, 5, 5})) {
+		t.Error("skewness of constants not NaN")
+	}
+}
+
+func TestJarqueBeraAcceptsNormal(t *testing.T) {
+	accepted := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		if ApproximatelyNormal(normals(500, uint64(100+i)), 0.01) {
+			accepted++
+		}
+	}
+	if accepted < trials*9/10 {
+		t.Fatalf("normal samples accepted %d/%d times", accepted, trials)
+	}
+}
+
+func TestJarqueBeraRejectsExponential(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		if ApproximatelyNormal(exponentials(500, uint64(200+i)), 0.01) {
+			t.Fatalf("trial %d: exponential sample passed as normal", i)
+		}
+	}
+}
+
+func TestJarqueBeraRejectsBimodal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	xs := make([]float64, 600)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 5 + 0.1*rng.NormFloat64()
+		} else {
+			xs[i] = 20 + 0.1*rng.NormFloat64()
+		}
+	}
+	if ApproximatelyNormal(xs, 0.01) {
+		t.Fatal("bimodal sample passed as normal")
+	}
+}
+
+func TestJarqueBeraSmallSamplePermissive(t *testing.T) {
+	if !ApproximatelyNormal([]float64{1, 2, 3}, 0.01) {
+		t.Fatal("tiny sample rejected (should be permissive)")
+	}
+	if jb, p := JarqueBera([]float64{1, 2, 3}); !math.IsNaN(jb) || !math.IsNaN(p) {
+		t.Fatalf("JB on n=3 = (%v, %v), want NaNs", jb, p)
+	}
+}

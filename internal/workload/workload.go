@@ -1,0 +1,123 @@
+// Package workload plans the artificial iterative microbenchmark of §V:
+// how much arithmetic one iteration should contain and how many
+// iterations each benchmark phase needs so that the kernel (a) keeps the
+// accelerator under sustained load, (b) cleanly separates the
+// initial-frequency region from the switch, (c) spans the longest
+// plausible switching latency, and (d) leaves enough tail iterations to
+// confirm the target frequency statistically.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// CyclesForIterDuration returns the per-iteration cycle budget that makes
+// an iteration last about durNs at the given clock. The iteration is the
+// measurement granule: the paper wants it "as tiny as possible" because
+// it bounds the resolution of the switching-latency estimate, but it must
+// remain long against the device timer quantum.
+func CyclesForIterDuration(durNs float64, freqMHz float64) float64 {
+	return durNs * freqMHz / 1000
+}
+
+// IterDurationNs inverts CyclesForIterDuration.
+func IterDurationNs(cycles, freqMHz float64) float64 {
+	return cycles * 1000 / freqMHz
+}
+
+// Budget is the iteration plan of one switching-latency benchmark run,
+// following the four §V components.
+type Budget struct {
+	// WakeupIters keeps the device busy long enough to leave idle clocks
+	// and stabilise at the programmed frequency before measurement.
+	WakeupIters int
+	// DelayIters run at the initial frequency before the change request,
+	// clearly separating the two frequency regions.
+	DelayIters int
+	// CaptureIters span the switching latency itself, sized at a safety
+	// multiple of the longest expected latency.
+	CaptureIters int
+	// ConfirmIters are the tail used to verify the device settled at the
+	// target frequency ("several hundred up to a thousand").
+	ConfirmIters int
+}
+
+// Total returns the kernel's iteration count.
+func (b Budget) Total() int {
+	return b.WakeupIters + b.DelayIters + b.CaptureIters + b.ConfirmIters
+}
+
+// DelayNs returns the host sleep before issuing the frequency change:
+// the wake-up plus delay regions at the initial frequency.
+func (b Budget) DelayNs(iterNs float64) int64 {
+	return int64(float64(b.WakeupIters+b.DelayIters) * iterNs)
+}
+
+// PlanBudget sizes a Budget.
+//
+//	iterNs        — nominal iteration duration at the slower frequency of
+//	                the measured pair (worst case for coverage);
+//	wakeNs        — the platform's wake-up upper bound (0 if the device is
+//	                known warm);
+//	maxLatencyNs  — upper-bound estimate of the switching latency, e.g.
+//	                from EstimateCaptureNs;
+//	safety        — multiplier on the capture region (§V recommends 10×;
+//	                values < 1 are raised to 1).
+func PlanBudget(iterNs float64, wakeNs, maxLatencyNs int64, safety float64) (Budget, error) {
+	if iterNs <= 0 {
+		return Budget{}, fmt.Errorf("workload: non-positive iteration duration %v", iterNs)
+	}
+	if maxLatencyNs <= 0 {
+		return Budget{}, fmt.Errorf("workload: non-positive latency bound %d", maxLatencyNs)
+	}
+	if safety < 1 {
+		safety = 1
+	}
+	iters := func(ns float64) int {
+		return int(math.Ceil(ns / iterNs))
+	}
+	b := Budget{
+		WakeupIters:  iters(float64(wakeNs)),
+		DelayIters:   200, // "several hundred iterations" on the initial clock
+		CaptureIters: iters(safety * float64(maxLatencyNs)),
+		ConfirmIters: 500, // "several hundred up to a thousand"
+	}
+	return b, nil
+}
+
+// EstimateCaptureNs implements the §V bootstrap for an untested platform:
+// given the latencies observed on a few probe pairs (small, medium, and
+// high frequency levels), the capture budget is ten times the longest
+// observed latency. If the probes saw nothing (all zero), the caller
+// should retry with a ten-times longer workload; this function returns 0
+// in that case so the caller can detect it.
+func EstimateCaptureNs(probeLatenciesNs []int64) int64 {
+	var max int64
+	for _, l := range probeLatenciesNs {
+		if l > max {
+			max = l
+		}
+	}
+	return 10 * max
+}
+
+// SplitKernels divides a total iteration count into n equal kernels
+// (remainder in the last), the shape the wake-up estimation procedure
+// uses: comparing the first kernel's iteration times with the last
+// kernel's average reveals when the device stabilised.
+func SplitKernels(total, n int) ([]int, error) {
+	if total <= 0 || n <= 0 {
+		return nil, fmt.Errorf("workload: invalid split %d into %d", total, n)
+	}
+	if n > total {
+		n = total
+	}
+	out := make([]int, n)
+	base := total / n
+	for i := range out {
+		out[i] = base
+	}
+	out[n-1] += total - base*n
+	return out, nil
+}

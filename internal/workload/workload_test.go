@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesForIterDurationRoundTrip(t *testing.T) {
+	cycles := CyclesForIterDuration(100_000, 1410) // 100 µs at 1410 MHz
+	if got := IterDurationNs(cycles, 1410); got != 100_000 {
+		t.Fatalf("round trip = %v, want 100000", got)
+	}
+	if cycles != 141_000 {
+		t.Fatalf("cycles = %v, want 141000", cycles)
+	}
+}
+
+func TestPlanBudgetComponents(t *testing.T) {
+	b, err := PlanBudget(100_000, 30_000_000, 50_000_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WakeupIters != 300 {
+		t.Errorf("WakeupIters = %d, want 300", b.WakeupIters)
+	}
+	if b.DelayIters != 200 {
+		t.Errorf("DelayIters = %d, want 200", b.DelayIters)
+	}
+	if b.CaptureIters != 5000 {
+		t.Errorf("CaptureIters = %d, want 5000 (10× latency)", b.CaptureIters)
+	}
+	if b.ConfirmIters != 500 {
+		t.Errorf("ConfirmIters = %d, want 500", b.ConfirmIters)
+	}
+	if b.Total() != 6000 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if got := b.DelayNs(100_000); got != 50_000_000 {
+		t.Errorf("DelayNs = %d, want 50ms", got)
+	}
+}
+
+func TestPlanBudgetWarmDevice(t *testing.T) {
+	b, err := PlanBudget(100_000, 0, 10_000_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WakeupIters != 0 {
+		t.Fatalf("warm device WakeupIters = %d", b.WakeupIters)
+	}
+}
+
+func TestPlanBudgetSafetyFloor(t *testing.T) {
+	b, err := PlanBudget(1000, 0, 10_000, 0.1) // safety below 1 is raised
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CaptureIters != 10 {
+		t.Fatalf("CaptureIters = %d, want 10 (safety clamped to 1)", b.CaptureIters)
+	}
+}
+
+func TestPlanBudgetValidation(t *testing.T) {
+	if _, err := PlanBudget(0, 0, 1000, 10); err == nil {
+		t.Error("zero iterNs accepted")
+	}
+	if _, err := PlanBudget(1000, 0, 0, 10); err == nil {
+		t.Error("zero latency bound accepted")
+	}
+}
+
+// Property: the capture region always covers safety × maxLatency.
+func TestPlanBudgetCoverageProperty(t *testing.T) {
+	f := func(iterUs uint16, latMs uint16, safetyX uint8) bool {
+		iterNs := float64(iterUs%1000+1) * 1000
+		latNs := int64(latMs%500+1) * 1_000_000
+		safety := float64(safetyX%20 + 1)
+		b, err := PlanBudget(iterNs, 0, latNs, safety)
+		if err != nil {
+			return false
+		}
+		return float64(b.CaptureIters)*iterNs >= safety*float64(latNs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateCaptureNs(t *testing.T) {
+	if got := EstimateCaptureNs([]int64{5, 80, 12}); got != 800 {
+		t.Fatalf("EstimateCaptureNs = %d, want 800", got)
+	}
+	if got := EstimateCaptureNs(nil); got != 0 {
+		t.Fatalf("empty probes = %d, want 0 (caller must retry longer)", got)
+	}
+}
+
+func TestSplitKernels(t *testing.T) {
+	parts, err := SplitKernels(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{250, 250, 250, 250}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Fatalf("parts = %v", parts)
+		}
+	}
+	parts, _ = SplitKernels(10, 3)
+	if parts[0] != 3 || parts[1] != 3 || parts[2] != 4 {
+		t.Fatalf("remainder handling: %v", parts)
+	}
+}
+
+func TestSplitKernelsMoreKernelsThanIters(t *testing.T) {
+	parts, err := SplitKernels(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		if p <= 0 {
+			t.Fatalf("empty kernel in %v", parts)
+		}
+		total += p
+	}
+	if total != 2 {
+		t.Fatalf("split loses iterations: %v", parts)
+	}
+}
+
+func TestSplitKernelsValidation(t *testing.T) {
+	if _, err := SplitKernels(0, 3); err == nil {
+		t.Error("total=0 accepted")
+	}
+	if _, err := SplitKernels(10, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// Property: SplitKernels conserves the total.
+func TestSplitConservationProperty(t *testing.T) {
+	f := func(total uint16, n uint8) bool {
+		tt := int(total%5000) + 1
+		nn := int(n%20) + 1
+		parts, err := SplitKernels(tt, nn)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, p := range parts {
+			sum += p
+		}
+		return sum == tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
