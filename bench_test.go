@@ -28,6 +28,79 @@ func freshSuite(i int) *experiments.Suite {
 	})
 }
 
+// campaignSweepConfig is the shared configuration of the campaign-sweep
+// benchmarks: a five-clock A100 sweep (20 ordered pairs) sized so one
+// iteration runs in seconds, differing only in sweep parallelism.
+func campaignSweepConfig(parallelism int) Config {
+	return Config{
+		Frequencies:      []float64{705, 885, 1065, 1215, 1410},
+		Blocks:           3,
+		MinMeasurements:  12,
+		MaxMeasurements:  24,
+		RSECheckEvery:    6,
+		MaxLatencyHintNs: 120_000_000,
+		Seed:             17,
+		Parallelism:      parallelism,
+	}
+}
+
+func benchmarkCampaignSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	p, err := ProfileByKey("a100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(p, campaignSweepConfig(parallelism))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) != 20 {
+			b.Fatalf("pairs = %d, want 20", len(res.Pairs))
+		}
+	}
+}
+
+// BenchmarkCampaignSweepSerial runs the full campaign with a serial pair
+// sweep — the baseline the parallel engine is measured against.
+func BenchmarkCampaignSweepSerial(b *testing.B) { benchmarkCampaignSweep(b, 1) }
+
+// BenchmarkCampaignSweepParallel runs the identical campaign (bit-for-bit
+// identical results) with one sweep worker per CPU.
+func BenchmarkCampaignSweepParallel(b *testing.B) { benchmarkCampaignSweep(b, 0) }
+
+// BenchmarkPhase1Warmup isolates the phase-1 characterisation whose warm
+// kernels stream through Welford sinks instead of materialising
+// [][]IterSample; allocs/op tracks that saving. Device construction is
+// hoisted out of the loop so the counters cover the warm-up path alone.
+func BenchmarkPhase1Warmup(b *testing.B) {
+	p, err := ProfileByKey("a100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := Open(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := dev.NewRunner(campaignSweepConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1, err := r.Phase1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p1.ValidPairs) == 0 {
+			b.Fatal("no valid pairs")
+		}
+	}
+}
+
 // BenchmarkTable1Hardware regenerates Table I (hardware setup).
 func BenchmarkTable1Hardware(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		only      = fs.String("only", "", "comma-separated artefact ids (default all)")
 		outDir    = fs.String("out", "results", "output directory")
 		seed      = fs.Uint64("seed", 2025, "campaign seed")
+		parallel  = fs.Int("parallel", 0, "concurrent pair campaigns per sweep (0 = one per CPU, 1 = serial; results are identical at every setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +91,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	suite := experiments.NewSuite(experiments.Options{Scale: scale, Seed: *seed})
+	suite := experiments.NewSuite(experiments.Options{Scale: scale, Seed: *seed, Parallelism: *parallel})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {
 			continue

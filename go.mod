@@ -1,0 +1,3 @@
+module golatest
+
+go 1.24.0

@@ -30,6 +30,27 @@
 // Everything runs in virtual time: campaigns that span hours of simulated
 // benchmarking finish in milliseconds of wall clock and are bit-for-bit
 // reproducible for a given configuration.
+//
+// # Concurrency model
+//
+// A campaign's pair sweep is parallel: Run fans the valid pairs out over
+// Config.Parallelism workers (default: one per CPU). Each pair's
+// phase-2/3 campaign executes on an independent device replica — a fresh
+// instance of the same hardware profile on its own virtual clock, with
+// its simulator seed derived deterministically from the device seed and
+// the (init, target) pair. Replicas share no mutable state, so the sweep
+// scales with cores, and because each pair's entire random future is a
+// function of (seed, pair) alone, campaign results are bit-for-bit
+// identical at every parallelism level — including Parallelism=1 — and
+// independent of worker scheduling. Phase 1 and the capture-bound probe
+// run on the primary device before the sweep; within one device, kernels
+// and the virtual clock remain single-threaded, mirroring the one host
+// thread that drives the real benchmark.
+//
+// Warm-up and phase-1 kernels stream their iteration timings into
+// reusable Welford accumulators (see gpu.StreamStats) rather than
+// materialising per-iteration traces; only the phase-3 benchmark kernel
+// keeps its full trace for evaluation.
 package golatest
 
 import (

@@ -24,10 +24,36 @@ type Result struct {
 	// Eps and MinPts echo the parameters used.
 	Eps    float64
 	MinPts int
+
+	// noiseCount and clusterSizes are precomputed by finalize when the
+	// clustering is built, so the adaptive loop's repeated NoiseRatio
+	// checks and the census's size queries never rescan Labels. counted
+	// distinguishes a finalized Result from a hand-assembled zero value,
+	// for which the accessors fall back to scanning.
+	counted      bool
+	noiseCount   int
+	clusterSizes []int
+}
+
+// finalize counts noise and per-cluster sizes once, at construction.
+func (r *Result) finalize() {
+	r.noiseCount = 0
+	r.clusterSizes = make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l == Noise {
+			r.noiseCount++
+		} else {
+			r.clusterSizes[l]++
+		}
+	}
+	r.counted = true
 }
 
 // NoiseCount returns the number of points labelled Noise.
 func (r *Result) NoiseCount() int {
+	if r.counted {
+		return r.noiseCount
+	}
 	n := 0
 	for _, l := range r.Labels {
 		if l == Noise {
@@ -45,8 +71,12 @@ func (r *Result) NoiseRatio() float64 {
 	return float64(r.NoiseCount()) / float64(len(r.Labels))
 }
 
-// ClusterSizes returns the size of each cluster, indexed by label.
+// ClusterSizes returns the size of each cluster, indexed by label. The
+// returned slice is shared; callers must not modify it.
 func (r *Result) ClusterSizes() []int {
+	if r.counted {
+		return r.clusterSizes
+	}
 	sizes := make([]int, r.NumClusters)
 	for _, l := range r.Labels {
 		if l >= 0 {
@@ -83,6 +113,7 @@ func DBSCAN(xs []float64, eps float64, minPts int) *Result {
 		res.Labels[i] = Noise
 	}
 	if n == 0 || minPts <= 0 || eps < 0 {
+		res.finalize()
 		return res
 	}
 
@@ -98,17 +129,14 @@ func DBSCAN(xs []float64, eps float64, minPts int) *Result {
 	}
 
 	// neighbors returns the half-open sorted-position range [lo, hi) of
-	// points within eps of sorted[k].
+	// points within eps of sorted[k]: two binary searches, the second for
+	// the first element strictly greater than x+eps so that elements
+	// exactly at x+eps are included (closed ball, as in classic DBSCAN
+	// formulations) without a linear extension over tied samples.
 	neighbors := func(k int) (lo, hi int) {
 		x := sorted[k]
 		lo = sort.SearchFloat64s(sorted, x-eps)
-		hi = sort.SearchFloat64s(sorted, x+eps)
-		// SearchFloat64s finds the first element ≥ target, so extend hi to
-		// include elements exactly at x+eps (closed ball, as in classic
-		// DBSCAN formulations).
-		for hi < n && sorted[hi] <= x+eps {
-			hi++
-		}
+		hi = lo + sort.Search(n-lo, func(i int) bool { return sorted[lo+i] > x+eps })
 		return lo, hi
 	}
 
@@ -169,5 +197,6 @@ func DBSCAN(xs []float64, eps float64, minPts int) *Result {
 	for k, idx := range perm {
 		res.Labels[idx] = labels[k]
 	}
+	res.finalize()
 	return res
 }

@@ -212,3 +212,60 @@ func TestDBSCANDuplicatePoints(t *testing.T) {
 		t.Fatalf("duplicates: %d clusters, %d noise", res.NumClusters, res.NoiseCount())
 	}
 }
+
+// TestDBSCANClosedBallAtEps pins the closed-ball region query after the
+// linear hi-extension was replaced with a second binary search: points
+// exactly eps away are neighbours, including long runs of tied samples
+// sitting on the boundary.
+func TestDBSCANClosedBallAtEps(t *testing.T) {
+	// 1 core candidate at 0 and four tied points exactly at eps.
+	xs := []float64{0, 1, 1, 1, 1}
+	res := DBSCAN(xs, 1, 5)
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (boundary ties excluded?)", res.NumClusters)
+	}
+	if res.NoiseCount() != 0 {
+		t.Fatalf("noise = %d, want 0", res.NoiseCount())
+	}
+	// Just beyond eps must not be a neighbour: nudging every tie past the
+	// boundary leaves no point with 5 neighbours, so all points are noise.
+	over := math.Nextafter(1, 2)
+	xs = []float64{0, over, over, over, over}
+	res = DBSCAN(xs, 1, 5)
+	if res.NumClusters != 0 {
+		t.Fatalf("clusters = %d, want 0", res.NumClusters)
+	}
+}
+
+// TestDBSCANCachedCountsConsistent checks the precomputed noise and
+// cluster-size counts agree with a fresh scan of Labels.
+func TestDBSCANCachedCountsConsistent(t *testing.T) {
+	xs := []float64{1, 1.1, 1.2, 5, 5.1, 5.2, 40, 1.15, 5.15, 80}
+	res := DBSCAN(xs, 0.3, 3)
+	noise := 0
+	sizes := make([]int, res.NumClusters)
+	for _, l := range res.Labels {
+		if l == Noise {
+			noise++
+		} else {
+			sizes[l]++
+		}
+	}
+	if res.NoiseCount() != noise {
+		t.Fatalf("NoiseCount = %d, scan says %d", res.NoiseCount(), noise)
+	}
+	got := res.ClusterSizes()
+	if len(got) != len(sizes) {
+		t.Fatalf("ClusterSizes len = %d, want %d", len(got), len(sizes))
+	}
+	for i := range sizes {
+		if got[i] != sizes[i] {
+			t.Fatalf("cluster %d size = %d, scan says %d", i, got[i], sizes[i])
+		}
+	}
+	// A hand-assembled Result (no finalize) must still answer correctly.
+	manual := &Result{Labels: []int{0, Noise, 0, 1}, NumClusters: 2}
+	if manual.NoiseCount() != 1 || manual.ClusterSizes()[0] != 2 || manual.ClusterSizes()[1] != 1 {
+		t.Fatal("unfinalized Result accessors broken")
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"golatest/internal/cluster"
 	"golatest/internal/sim/gpu"
@@ -160,7 +162,15 @@ func (res *Result) PairByFreqs(init, target float64) (*PairResult, bool) {
 }
 
 // Run executes the complete campaign: phase 1, capture-bound probing when
-// no hint was configured, then the pair sweep in deterministic order.
+// no hint was configured, then the pair sweep.
+//
+// The sweep fans out over Config.Parallelism workers. Each pair's
+// campaign runs on an independent device replica (fresh virtual clock,
+// same hardware profile, seed derived deterministically from the device
+// seed and the pair), so pairs neither contend for the shared clock nor
+// observe each other's thermal or frequency state. Results — sample
+// values and their order within each pair, and the init-major pair order
+// of Result.Pairs — are bit-for-bit identical at every parallelism level.
 func (r *Runner) Run() (*Result, error) {
 	p1, err := r.Phase1()
 	if err != nil {
@@ -177,12 +187,55 @@ func (r *Runner) Run() (*Result, error) {
 		Phase1:        p1,
 		CaptureHintNs: r.captureHintNs,
 	}
-	for _, pair := range p1.ValidPairs {
-		pr, err := r.MeasurePair(pair, p1)
+	pairs := p1.ValidPairs
+	if len(pairs) == 0 {
+		return res, nil
+	}
+
+	results := make([]*PairResult, len(pairs))
+	errs := make([]error, len(pairs))
+	workers := r.cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) || failed.Load() {
+					return
+				}
+				sub, err := r.replicaRunner(pairs[i])
+				if err == nil {
+					results[i], err = sub.MeasurePair(pairs[i], p1)
+				}
+				if err != nil {
+					errs[i] = err
+					failed.Store(true) // abort: don't spend campaigns on a doomed Run
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the earliest-indexed error observed. (Which pairs got to
+	// run before the abort depends on scheduling, but the success path —
+	// the determinism contract — never aborts.)
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		res.Pairs = append(res.Pairs, pr)
 	}
+	res.Pairs = results
 	return res, nil
 }

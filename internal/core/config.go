@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"golatest/internal/cluster"
@@ -121,6 +122,13 @@ type Config struct {
 
 	// Seed drives host-side randomness (PTP link sampling).
 	Seed uint64
+
+	// Parallelism bounds how many pair campaigns Run sweeps concurrently.
+	// Each pair runs on an independent device replica seeded
+	// deterministically from (Seed, pair), so results are bit-for-bit
+	// identical at every setting — parallelism only changes wall clock.
+	// Zero means one worker per available CPU; 1 restores a serial sweep.
+	Parallelism int
 }
 
 // withDefaults validates cfg against the device and fills defaults.
@@ -209,6 +217,12 @@ func (c Config) withDefaults(dev *nvml.Device) (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 0xbe9c481
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("core: negative Parallelism %d", c.Parallelism)
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c, nil
 }

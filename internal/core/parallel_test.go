@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// runCampaignAt executes the full reference campaign at the given sweep
+// parallelism.
+func runCampaignAt(t *testing.T, parallelism int) *Result {
+	t.Helper()
+	dev := testDevice(t, pairModel{upNs: 10_000_000, downNs: 5_000_000}, nil)
+	cfg := quickConfig(600, 900, 1200)
+	cfg.Parallelism = parallelism
+	r, err := NewRunner(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// samePairResult compares everything the campaign derives per pair:
+// identical samples in identical order, the same measurement metadata,
+// and the same downstream statistics.
+func samePairResult(t *testing.T, parallelism int, a, b *PairResult) {
+	t.Helper()
+	if a.Pair != b.Pair {
+		t.Fatalf("parallelism %d: pair order diverged: %v vs %v", parallelism, a.Pair, b.Pair)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("parallelism %d: %v: %d vs %d samples", parallelism, a.Pair, len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("parallelism %d: %v sample %d: %v vs %v",
+				parallelism, a.Pair, i, a.Samples[i], b.Samples[i])
+		}
+		ia, ib := a.Injected[i], b.Injected[i]
+		if ia != ib && !(math.IsNaN(ia) && math.IsNaN(ib)) {
+			t.Fatalf("parallelism %d: %v injected %d: %v vs %v", parallelism, a.Pair, i, ia, ib)
+		}
+	}
+	for i := range a.Measurements {
+		ma, mb := a.Measurements[i], b.Measurements[i]
+		if ma.TsDevNs != mb.TsDevNs || ma.TeDevNs != mb.TeDevNs || ma.SM != mb.SM ||
+			ma.TransitionIndex != mb.TransitionIndex {
+			t.Fatalf("parallelism %d: %v measurement %d diverged: %+v vs %+v",
+				parallelism, a.Pair, i, ma, mb)
+		}
+	}
+	if a.Attempts != b.Attempts || a.Failures != b.Failures ||
+		a.DiscardedByThrottle != b.DiscardedByThrottle || a.Skipped != b.Skipped {
+		t.Fatalf("parallelism %d: %v bookkeeping diverged", parallelism, a.Pair)
+	}
+	if a.Summary != b.Summary {
+		t.Fatalf("parallelism %d: %v summary diverged: %+v vs %+v",
+			parallelism, a.Pair, a.Summary, b.Summary)
+	}
+}
+
+// TestRunIdenticalAcrossParallelism is the determinism contract of the
+// parallel campaign engine: because every pair runs on its own
+// deterministically seeded device replica, the sweep's results are
+// bit-for-bit identical no matter how many workers execute it. Running at
+// NumCPU also exercises the worker pool under the race detector when the
+// suite runs with -race.
+func TestRunIdenticalAcrossParallelism(t *testing.T) {
+	serial := runCampaignAt(t, 1)
+	if len(serial.Pairs) != 6 {
+		t.Fatalf("serial pairs = %d, want 6", len(serial.Pairs))
+	}
+	levels := []int{4, runtime.NumCPU()}
+	for _, par := range levels {
+		got := runCampaignAt(t, par)
+		if len(got.Pairs) != len(serial.Pairs) {
+			t.Fatalf("parallelism %d: %d pairs vs %d", par, len(got.Pairs), len(serial.Pairs))
+		}
+		if got.CaptureHintNs != serial.CaptureHintNs {
+			t.Fatalf("parallelism %d: capture hint %d vs %d", par, got.CaptureHintNs, serial.CaptureHintNs)
+		}
+		for i := range got.Pairs {
+			samePairResult(t, par, serial.Pairs[i], got.Pairs[i])
+		}
+	}
+}
+
+// TestRunParallelismDefault checks the zero value resolves to the number
+// of available CPUs, and negatives are rejected.
+func TestRunParallelismDefault(t *testing.T) {
+	dev := testDevice(t, fixedModel{bus: 1000, dur: 5_000_000}, nil)
+	r, err := NewRunner(dev, quickConfig(600, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Config().Parallelism; got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Parallelism = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	bad := quickConfig(600, 900)
+	bad.Parallelism = -1
+	dev2 := testDevice(t, fixedModel{bus: 1000, dur: 5_000_000}, nil)
+	if _, err := NewRunner(dev2, bad); err == nil {
+		t.Fatal("negative Parallelism accepted")
+	}
+}
+
+// TestReplicaSeedingIsPairLocal pins the property the sweep's determinism
+// rests on: a pair's replica seed depends only on the device seed and the
+// pair itself, not on sweep composition or worker interleaving.
+func TestReplicaSeedingIsPairLocal(t *testing.T) {
+	a := pairTag(77, Pair{InitMHz: 600, TargetMHz: 1200})
+	b := pairTag(77, Pair{InitMHz: 600, TargetMHz: 1200})
+	if a != b {
+		t.Fatal("pairTag not deterministic")
+	}
+	if pairTag(77, Pair{InitMHz: 1200, TargetMHz: 600}) == a {
+		t.Fatal("pairTag direction-blind: init→target and target→init collide")
+	}
+	if pairTag(78, Pair{InitMHz: 600, TargetMHz: 1200}) == a {
+		t.Fatal("pairTag ignores the device seed")
+	}
+}

@@ -15,12 +15,23 @@ import (
 	"golatest/internal/workload"
 )
 
+// warmTailWindow is how many trailing iterations per block the warm-up
+// verification compares against the phase-1 characterisation (capped at
+// half the block).
+const warmTailWindow = 100
+
 // Runner drives a measurement campaign on one device.
 type Runner struct {
 	dev *nvml.Device
 	ctx *cuda.Context
 	cfg Config
 	rng *clock.Rand
+
+	// sink is the reusable streaming-statistics sink for the warm-up and
+	// phase-1 kernels, which only need summary statistics and therefore
+	// skip trace materialisation. One per runner: the single host thread
+	// that advances virtual time is also the only sink writer.
+	sink *gpu.StreamStats
 
 	// captureHintNs is the effective capture bound (config hint or probe
 	// result), mutable because adaptive retry may grow it.
@@ -43,7 +54,51 @@ func NewRunner(dev *nvml.Device, cfg Config) (*Runner, error) {
 		ctx:           ctx,
 		cfg:           cfg,
 		rng:           clock.NewRand(cfg.Seed, 0x72756e6e6572), // "runner"
+		sink:          gpu.NewStreamStats(warmTailWindow),
 		captureHintNs: cfg.MaxLatencyHintNs,
+	}, nil
+}
+
+// pairTag folds a pair's identity into a seed. It depends only on the
+// frequencies, so a pair's replica behaves identically no matter which
+// other pairs the campaign sweeps or in what order.
+func pairTag(seed uint64, pair Pair) uint64 {
+	return clock.SplitMix64(clock.SplitMix64(seed^math.Float64bits(pair.InitMHz)) ^ math.Float64bits(pair.TargetMHz))
+}
+
+// replicaRunner builds the worker-local runner for one pair of the
+// campaign sweep: a fresh device replica of the same hardware profile on
+// its own virtual clock, seeded deterministically from the device seed
+// and the pair, plus an independent host randomness stream. Replicas make
+// the pair sweep embarrassingly parallel — no shared clock, no shared
+// device state — while keeping every pair's campaign bit-for-bit
+// reproducible regardless of worker count.
+func (r *Runner) replicaRunner(pair Pair) (*Runner, error) {
+	simCfg := r.dev.Sim().Config()
+	simCfg.Seed = pairTag(simCfg.Seed, pair)
+	sim, err := gpu.New(simCfg, clock.New())
+	if err != nil {
+		return nil, err
+	}
+	lib, err := nvml.New(sim)
+	if err != nil {
+		return nil, err
+	}
+	h, err := lib.DeviceHandleByIndex(0)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := cuda.NewContext(sim)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		dev:           h,
+		ctx:           ctx,
+		cfg:           r.cfg,
+		rng:           clock.NewRand(r.cfg.Seed, pairTag(0x72756e6e6572, pair)),
+		sink:          gpu.NewStreamStats(warmTailWindow),
+		captureHintNs: r.captureHintNs,
 	}, nil
 }
 
@@ -106,16 +161,15 @@ func (r *Runner) refCycles() float64 {
 	return workload.CyclesForIterDuration(r.cfg.IterTargetNs, slow)
 }
 
-// plausiblyNormal is the phase-1 shape diagnostic. A full Jarque–Bera
-// test over-rejects here: the device timer's quantisation turns the
-// iteration population into a lattice whose tails are flatter than a
-// normal's, which is harmless for the 2σ band. Moment thresholds keep
-// the quantisation lattice while catching the departures that actually
+// plausiblyNormal is the phase-1 shape diagnostic over the streamed
+// skewness (g1) and excess kurtosis (g2). A full Jarque–Bera test
+// over-rejects here: the device timer's quantisation turns the iteration
+// population into a lattice whose tails are flatter than a normal's,
+// which is harmless for the 2σ band. Moment thresholds keep the
+// quantisation lattice while catching the departures that actually
 // distort the band: skew (residual throttling/adaptation in the window)
 // and heavy or strongly bimodal tails.
-func plausiblyNormal(xs []float64) bool {
-	g1 := stats.Skewness(xs)
-	g2 := stats.ExcessKurtosis(xs)
+func plausiblyNormal(g1, g2 float64) bool {
 	if math.IsNaN(g1) || math.IsNaN(g2) {
 		return true // too small to judge
 	}
@@ -155,22 +209,22 @@ func (r *Runner) Phase1() (*Phase1Result, error) {
 		nominalMs := cycles / f / 1000
 		kernelNs := float64(r.cfg.ItersPerKernel) * workload.IterDurationNs(cycles, f)
 		maxRounds := r.cfg.WarmKernels + int(3e9/kernelNs) + 1
-		var last *gpu.Kernel
 		settled := false
 		for k := 0; k < maxRounds; k++ {
-			kern, err := r.ctx.LaunchKernel(gpu.KernelSpec{
+			// Warm kernels only feed summary statistics, so they stream
+			// through the runner's Welford sink instead of materialising
+			// their iteration traces.
+			r.sink.Reset()
+			if _, err := r.ctx.LaunchKernelWithSink(gpu.KernelSpec{
 				Iters:         r.cfg.ItersPerKernel,
 				CyclesPerIter: cycles,
 				Blocks:        r.cfg.Blocks,
-			})
-			if err != nil {
+			}, r.sink); err != nil {
 				return nil, fmt.Errorf("core: phase 1 launch at %v MHz: %w", f, err)
 			}
 			r.ctx.DeviceSynchronize()
-			cur := stats.Describe(kern.DurationsMs())
-			last = kern
 			if k+1 >= r.cfg.WarmKernels &&
-				math.Abs(cur.Mean-nominalMs) < 0.02*nominalMs {
+				math.Abs(r.sink.MeanStd().Mean-nominalMs) < 0.02*nominalMs {
 				settled = true
 				break
 			}
@@ -179,11 +233,11 @@ func (r *Runner) Phase1() (*Phase1Result, error) {
 			unstable[f] = true
 			res.Unstable = append(res.Unstable, f)
 		}
-		durs := last.DurationsMs()
+		// The sink still holds the last warm kernel's moments.
 		res.Stats[f] = FreqStats{
 			FreqMHz:   f,
-			Iter:      stats.Describe(durs),
-			Normalish: plausiblyNormal(durs),
+			Iter:      r.sink.MeanStd(),
+			Normalish: plausiblyNormal(r.sink.Skewness(), r.sink.ExcessKurtosis()),
 		}
 	}
 
@@ -266,26 +320,21 @@ func (r *Runner) ensureInitialClock(initStat stats.MeanStd, cycles, iterInitNs f
 	warmIters := int(warmNs/iterInitNs) + 1
 	const rounds = 5
 	for attempt := 0; attempt < rounds; attempt++ {
-		warm, err := r.ctx.LaunchKernel(gpu.KernelSpec{
+		// Warm kernels stream into the reusable sink: the check below only
+		// needs each block's tail-window statistics, so the full trace
+		// (warmIters × blocks IterSamples per round) is never allocated.
+		r.sink.Reset()
+		if _, err := r.ctx.LaunchKernelWithSink(gpu.KernelSpec{
 			Iters: warmIters, CyclesPerIter: cycles, Blocks: r.cfg.Blocks,
-		})
-		if err != nil {
+		}, r.sink); err != nil {
 			return err
 		}
 		r.ctx.DeviceSynchronize()
 
 		// Compare the tail of each block against the init population.
 		stable := true
-		for _, block := range warm.Samples() {
-			tailStart := len(block) - 100
-			if tailStart < len(block)/2 {
-				tailStart = len(block) / 2
-			}
-			var acc stats.Accumulator
-			for _, it := range block[tailStart:] {
-				acc.Add(float64(it.DurNs()) / 1e6)
-			}
-			tail := acc.MeanStd()
+		for b := 0; b < r.sink.NumBlocks(); b++ {
+			tail := r.sink.BlockTail(b)
 			if math.Abs(tail.Mean-initStat.Mean) >= r.cfg.RelTolerance*initStat.Mean {
 				stable = false
 				break

@@ -42,6 +42,15 @@ func (c *Context) LaunchKernel(spec gpu.KernelSpec) (*gpu.Kernel, error) {
 	return c.dev.Launch(spec)
 }
 
+// LaunchKernelWithSink enqueues the kernel with a streaming sample sink:
+// iteration timings flow into sink at Synchronize instead of
+// materialising on the kernel, sparing the per-block trace allocations.
+// Callers that only need summary statistics (warm-up loops, phase-1
+// characterisation) use this path.
+func (c *Context) LaunchKernelWithSink(spec gpu.KernelSpec, sink gpu.SampleSink) (*gpu.Kernel, error) {
+	return c.dev.LaunchWithSink(spec, sink)
+}
+
 // DeviceSynchronize blocks (in virtual time) until all launched kernels
 // complete.
 func (c *Context) DeviceSynchronize() {

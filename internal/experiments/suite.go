@@ -15,6 +15,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"golatest/internal/core"
 	"golatest/internal/hwprofile"
@@ -48,19 +49,40 @@ type Options struct {
 	// Seed offsets every campaign's host-side randomness; distinct seeds
 	// give statistically independent replications.
 	Seed uint64
+	// Parallelism is handed down to every campaign's core.Config: it
+	// bounds how many pair campaigns each campaign sweeps concurrently.
+	// Zero means one worker per CPU, 1 forces serial sweeps. Campaign
+	// results are identical at every setting.
+	Parallelism int
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
 type Suite struct {
 	opts Options
 
+	// campaigns implements per-key singleflight: the first caller of a key
+	// inserts a call record and runs the campaign; concurrent callers of
+	// the same key block on its done channel instead of duplicating the
+	// (expensive) campaign. Completed calls double as the cache.
 	mu        sync.Mutex
-	campaigns map[string]*core.Result
+	campaigns map[string]*campaignCall
+
+	// runs counts campaign executions (not cache hits); tests use it to
+	// assert the singleflight collapses concurrent duplicate calls.
+	runs atomic.Int64
+}
+
+// campaignCall is one singleflight entry: done closes once res/err are
+// final.
+type campaignCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
 }
 
 // NewSuite creates an empty suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{opts: opts, campaigns: make(map[string]*core.Result)}
+	return &Suite{opts: opts, campaigns: make(map[string]*campaignCall)}
 }
 
 // captureHints bound the capture window per architecture so campaigns
@@ -109,6 +131,7 @@ func (s *Suite) campaignConfig(p hwprofile.Profile) core.Config {
 		cfg.MaxMeasurements = 48
 		cfg.RSECheckEvery = 10
 	}
+	cfg.Parallelism = s.opts.Parallelism
 	return cfg
 }
 
@@ -134,23 +157,46 @@ func (s *Suite) runCampaign(p hwprofile.Profile, cfg core.Config) (*core.Result,
 }
 
 // Campaign returns the cached full campaign of a profile (keyed by
-// profile and instance), running it on first use.
+// profile and instance), running it on first use. Concurrent calls for
+// the same key collapse into one execution: the winner runs the campaign
+// and everyone else blocks until its result lands. A failed campaign is
+// not cached, so a later call retries.
 func (s *Suite) Campaign(p hwprofile.Profile) (*core.Result, error) {
 	key := fmt.Sprintf("%s/%d", p.Key, p.Instance)
 	s.mu.Lock()
-	cached, ok := s.campaigns[key]
-	s.mu.Unlock()
-	if ok {
-		return cached, nil
+	if c, ok := s.campaigns[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
-	res, err := s.runCampaign(p, s.campaignConfig(p))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: campaign %s: %w", key, err)
-	}
-	s.mu.Lock()
-	s.campaigns[key] = res
+	c := &campaignCall{done: make(chan struct{})}
+	s.campaigns[key] = c
 	s.mu.Unlock()
-	return res, nil
+
+	// A panicking campaign must not wedge the key: waiters need done
+	// closed and future callers need the entry gone, whether the run
+	// returns, errors, or unwinds.
+	defer func() {
+		if p := recover(); p != nil {
+			c.err = fmt.Errorf("experiments: campaign %s panicked: %v", key, p)
+			s.mu.Lock()
+			delete(s.campaigns, key)
+			s.mu.Unlock()
+			close(c.done)
+			panic(p)
+		}
+	}()
+
+	s.runs.Add(1)
+	c.res, c.err = s.runCampaign(p, s.campaignConfig(p))
+	if c.err != nil {
+		c.err = fmt.Errorf("experiments: campaign %s: %w", key, c.err)
+		s.mu.Lock()
+		delete(s.campaigns, key) // leave failures uncached for retry
+		s.mu.Unlock()
+	}
+	close(c.done)
+	return c.res, c.err
 }
 
 // CampaignByKey resolves the profile by key and returns its campaign.

@@ -14,25 +14,52 @@ import (
 // same seed and expect bit-identical device behaviour.
 type Rand struct {
 	src *rand.Rand
+	pcg *rand.PCG // retained so ChildInto can re-seed in place
 }
 
 // NewRand returns a stream seeded from the two 64-bit words.
 // The same (seed1, seed2) always produces the same draw sequence.
 func NewRand(seed1, seed2 uint64) *Rand {
-	return &Rand{src: rand.New(rand.NewPCG(seed1, seed2))}
+	pcg := rand.NewPCG(seed1, seed2)
+	return &Rand{src: rand.New(pcg), pcg: pcg}
+}
+
+// SplitMix64 is the SplitMix64 finaliser: it spreads structured inputs
+// (small consecutive tags, float bit patterns) into well-separated
+// 64-bit values. It is the one place this mixing lives; seed-derivation
+// code elsewhere must call it rather than re-inline the constants.
+func SplitMix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// childSeeds derives the PCG seed words of the child stream labelled by
+// tag, advancing the parent by one draw. The tag is mixed through
+// SplitMix64 so that small consecutive tags give well-separated seeds.
+func (r *Rand) childSeeds(tag uint64) (uint64, uint64) {
+	z := SplitMix64(tag)
+	return r.src.Uint64() ^ z, z
 }
 
 // Child derives an independent stream labelled by the given tag.
 // Distinct tags yield streams that do not share state with the parent or
 // with each other.
 func (r *Rand) Child(tag uint64) *Rand {
-	// Mix the tag through SplitMix64 so that small consecutive tags give
-	// well-separated PCG seeds.
-	z := tag + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return &Rand{src: rand.New(rand.NewPCG(r.src.Uint64()^z, z))}
+	s1, s2 := r.childSeeds(tag)
+	return NewRand(s1, s2)
+}
+
+// ChildInto re-seeds scratch to the exact draw sequence Child(tag) would
+// return, without allocating. It exists for the simulator's per-kernel
+// and per-SM streams, which the hot materialisation path derives
+// thousands of times per campaign; a caller-owned scratch stream absorbs
+// them all. scratch must come from NewRand and must not be the receiver.
+func (r *Rand) ChildInto(scratch *Rand, tag uint64) *Rand {
+	s1, s2 := r.childSeeds(tag)
+	scratch.pcg.Seed(s1, s2)
+	return scratch
 }
 
 // Float64 returns a uniform draw in [0, 1).

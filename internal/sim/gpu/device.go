@@ -48,6 +48,12 @@ type Device struct {
 	busyEndNs int64
 	everBusy  bool
 	queue     []*Kernel
+
+	// kernelScratch and smScratch are the reusable child streams of the
+	// materialisation path (one kernel, one SM at a time), re-seeded in
+	// place so per-kernel RNG derivation never allocates.
+	kernelScratch *clock.Rand
+	smScratch     *clock.Rand
 }
 
 // New constructs a device from cfg (normalised internally) bound to the
@@ -58,9 +64,11 @@ func New(cfg Config, clk *clock.Clock) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		cfg: cfg,
-		clk: clk,
-		rng: clock.NewRand(cfg.Seed, 0x6c6174657374), // "latest"
+		cfg:           cfg,
+		clk:           clk,
+		rng:           clock.NewRand(cfg.Seed, 0x6c6174657374), // "latest"
+		kernelScratch: clock.NewRand(0, 0),
+		smScratch:     clock.NewRand(0, 0),
 	}
 	d.tl = newTimeline(clk.Now(), cfg.DefaultFreqMHz)
 	d.setFreq = cfg.DefaultFreqMHz
@@ -217,11 +225,19 @@ func (d *Device) refreshClamp() {
 // launch overhead; the kernel itself executes asynchronously in virtual
 // time and its timings materialise on Synchronize.
 func (d *Device) Launch(spec KernelSpec) (*Kernel, error) {
+	return d.LaunchWithSink(spec, nil)
+}
+
+// LaunchWithSink enqueues a kernel whose iteration timings stream into
+// sink during materialisation instead of being stored on the kernel: the
+// per-block sample slices are never allocated and Samples becomes
+// unavailable. A nil sink is equivalent to Launch.
+func (d *Device) LaunchWithSink(spec KernelSpec, sink SampleSink) (*Kernel, error) {
 	if err := spec.validate(&d.cfg); err != nil {
 		return nil, err
 	}
 	d.clk.Advance(d.cfg.LaunchOverheadNs)
-	k := &Kernel{spec: spec, enqueuedNs: d.clk.Now(), dev: d}
+	k := &Kernel{spec: spec, enqueuedNs: d.clk.Now(), dev: d, sink: sink}
 	d.queue = append(d.queue, k)
 	return k, nil
 }
@@ -264,18 +280,20 @@ func (d *Device) materialize(k *Kernel) {
 	}
 
 	d.kernelSeq++
-	kernelRng := d.rng.Child(0x1000 + d.kernelSeq)
+	kernelRng := d.rng.ChildInto(d.kernelScratch, 0x1000+d.kernelSeq)
 
 	blocks := k.spec.Blocks
 	if blocks == 0 || blocks > d.cfg.SMCount {
 		blocks = d.cfg.SMCount
 	}
-	k.samples = make([][]IterSample, blocks)
+	if k.sink == nil {
+		k.samples = make([][]IterSample, blocks)
+	}
 	k.startNs = start
 
 	var maxEnd int64
 	for sm := 0; sm < blocks; sm++ {
-		smRng := kernelRng.Child(uint64(sm))
+		smRng := kernelRng.ChildInto(d.smScratch, uint64(sm))
 		end := d.runSM(k, sm, start, wakeEnd, smRng)
 		if end > maxEnd {
 			maxEnd = end
@@ -322,10 +340,16 @@ func (d *Device) materialize(k *Kernel) {
 
 // runSM executes the iteration loop of one SM-resident block, recording
 // quantised device timestamps for every iteration, and returns the host
-// time at which the block finished.
+// time at which the block finished. Timings either accumulate into the
+// kernel's sample matrix or stream into its sink.
 func (d *Device) runSM(k *Kernel, sm int, start, wakeEnd int64, r *clock.Rand) int64 {
 	iters := k.spec.Iters
-	samples := make([]IterSample, iters)
+	var samples []IterSample
+	if k.sink == nil {
+		samples = make([]IterSample, iters)
+	} else {
+		k.sink.BlockStart(sm, iters)
+	}
 	cur := d.tl.cursor()
 	speed := d.smSpeed[sm]
 	t := start
@@ -336,13 +360,22 @@ func (d *Device) runSM(k *Kernel, sm int, start, wakeEnd int64, r *clock.Rand) i
 		}
 		cycles := k.spec.CyclesPerIter * jitter
 		dur := d.integrate(t, cycles, speed, wakeEnd, &cur)
-		samples[i] = IterSample{
+		s := IterSample{
 			StartNs: d.DeviceTimeAt(t),
 			EndNs:   d.DeviceTimeAt(t + dur),
 		}
+		if k.sink == nil {
+			samples[i] = s
+		} else {
+			k.sink.Sample(sm, i, s)
+		}
 		t += dur
 	}
-	k.samples[sm] = samples
+	if k.sink == nil {
+		k.samples[sm] = samples
+	} else {
+		k.sink.BlockEnd(sm)
+	}
 	return t
 }
 

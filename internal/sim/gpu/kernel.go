@@ -54,6 +54,7 @@ type Kernel struct {
 	spec       KernelSpec
 	enqueuedNs int64
 	dev        *Device
+	sink       SampleSink
 
 	done    bool
 	startNs int64
@@ -75,27 +76,44 @@ func (k *Kernel) StartNs() int64 { return k.startNs }
 func (k *Kernel) EndNs() int64 { return k.endNs }
 
 // Samples returns the per-block iteration timings ([block][iteration]).
-// Valid only after Done; the caller must not modify the slices.
+// Valid only after Done; the caller must not modify the slices. Kernels
+// launched with a SampleSink stream their timings instead of storing
+// them, so Samples panics for them.
 func (k *Kernel) Samples() [][]IterSample {
 	if !k.done {
 		panic("gpu: Samples read before Synchronize")
+	}
+	if k.sink != nil {
+		panic("gpu: Samples unavailable: kernel streamed into a SampleSink")
 	}
 	return k.samples
 }
 
 // DurationsMs flattens all blocks' iteration durations into milliseconds,
-// the unit the statistics layer works in.
+// the unit the statistics layer works in. The returned slice is freshly
+// allocated; hot paths should prefer AppendDurationsMs with a pooled
+// buffer (GetDurationsBuf/PutDurationsBuf).
 func (k *Kernel) DurationsMs() []float64 {
+	return k.AppendDurationsMs(nil)
+}
+
+// AppendDurationsMs appends all blocks' iteration durations (ms) to buf
+// and returns the extended slice, growing it only when capacity runs out.
+func (k *Kernel) AppendDurationsMs(buf []float64) []float64 {
 	samples := k.Samples()
 	var n int
 	for _, block := range samples {
 		n += len(block)
 	}
-	out := make([]float64, 0, n)
+	if cap(buf)-len(buf) < n {
+		grown := make([]float64, len(buf), len(buf)+n)
+		copy(grown, buf)
+		buf = grown
+	}
 	for _, block := range samples {
 		for _, it := range block {
-			out = append(out, float64(it.DurNs())/1e6)
+			buf = append(buf, float64(it.DurNs())/1e6)
 		}
 	}
-	return out
+	return buf
 }

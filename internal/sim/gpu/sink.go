@@ -1,0 +1,123 @@
+package gpu
+
+import (
+	"sync"
+
+	"golatest/internal/stats"
+)
+
+// SampleSink consumes iteration timings while a kernel materialises,
+// instead of the kernel storing the full [][]IterSample trace. Blocks are
+// streamed sequentially in index order, iterations in execution order, so
+// sink state needs no synchronisation. A kernel launched with a sink does
+// not materialise Samples(); callers that need the raw trace (the phase-3
+// evaluator) launch without one.
+type SampleSink interface {
+	// BlockStart announces that block will deliver iters samples.
+	BlockStart(block, iters int)
+	// Sample delivers iteration iter of block, in order.
+	Sample(block, iter int, s IterSample)
+	// BlockEnd marks block complete.
+	BlockEnd(block int)
+}
+
+// StreamStats is the streaming statistics sink the measurement phases
+// consume: iteration durations (in milliseconds, the statistics layer's
+// unit) fold into a Welford moment accumulator covering every block, plus
+// one tail-window accumulator per block for warm-up verification.
+//
+// The tail window of a block with n iterations covers its last
+// min(tailCap, n − n/2) iterations — the same "last 100, at most the
+// trailing half" rule the warm-up check applied to materialised traces.
+//
+// A StreamStats is reusable: Reset clears it for the next kernel while
+// keeping the per-block slice allocation.
+type StreamStats struct {
+	tailCap int
+
+	total  stats.MomentAccumulator
+	blocks []tailWindow
+}
+
+// tailWindow accumulates one block's trailing iterations.
+type tailWindow struct {
+	tailStart int
+	acc       stats.Accumulator
+}
+
+// NewStreamStats returns a sink whose per-block tail windows hold at most
+// tailCap iterations (0 defaults to 100, the methodology's warm-up
+// window).
+func NewStreamStats(tailCap int) *StreamStats {
+	if tailCap <= 0 {
+		tailCap = 100
+	}
+	return &StreamStats{tailCap: tailCap}
+}
+
+// Reset clears all accumulators for reuse on the next kernel.
+func (s *StreamStats) Reset() {
+	s.total.Reset()
+	s.blocks = s.blocks[:0]
+}
+
+// BlockStart implements SampleSink.
+func (s *StreamStats) BlockStart(block, iters int) {
+	for len(s.blocks) <= block {
+		s.blocks = append(s.blocks, tailWindow{})
+	}
+	tailStart := iters - s.tailCap
+	if tailStart < iters/2 {
+		tailStart = iters / 2
+	}
+	s.blocks[block] = tailWindow{tailStart: tailStart}
+}
+
+// Sample implements SampleSink.
+func (s *StreamStats) Sample(block, iter int, smp IterSample) {
+	ms := float64(smp.DurNs()) / 1e6
+	s.total.Add(ms)
+	if b := &s.blocks[block]; iter >= b.tailStart {
+		b.acc.Add(ms)
+	}
+}
+
+// BlockEnd implements SampleSink.
+func (s *StreamStats) BlockEnd(block int) {}
+
+// N reports the total number of iterations folded in so far.
+func (s *StreamStats) N() int { return s.total.N() }
+
+// MeanStd returns the overall iteration-duration statistics in ms.
+func (s *StreamStats) MeanStd() stats.MeanStd { return s.total.MeanStd() }
+
+// Skewness returns the overall sample skewness (g1).
+func (s *StreamStats) Skewness() float64 { return s.total.Skewness() }
+
+// ExcessKurtosis returns the overall sample excess kurtosis (g2).
+func (s *StreamStats) ExcessKurtosis() float64 { return s.total.ExcessKurtosis() }
+
+// NumBlocks reports how many blocks streamed into the sink.
+func (s *StreamStats) NumBlocks() int { return len(s.blocks) }
+
+// BlockTail returns the tail-window statistics of one block.
+func (s *StreamStats) BlockTail(block int) stats.MeanStd {
+	return s.blocks[block].acc.MeanStd()
+}
+
+// durationsPool recycles the flattened duration buffers DurationsMs
+// returns, bounding steady-state allocation in callers that repeatedly
+// flatten kernels of similar size.
+var durationsPool = sync.Pool{
+	New: func() any { s := make([]float64, 0, 1024); return &s },
+}
+
+// GetDurationsBuf leases a zero-length duration buffer from the pool.
+func GetDurationsBuf() []float64 { return (*(durationsPool.Get().(*[]float64)))[:0] }
+
+// PutDurationsBuf returns a buffer obtained from GetDurationsBuf (or an
+// AppendDurationsMs result built on one) to the pool.
+func PutDurationsBuf(buf []float64) {
+	buf = buf[:0]
+	durationsPool.Put(&buf)
+}

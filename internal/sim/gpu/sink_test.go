@@ -1,0 +1,129 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"golatest/internal/stats"
+)
+
+// TestStreamStatsMatchesMaterialised pins the core equivalence of the
+// streaming path: the same kernel on an identically seeded device must
+// yield bit-identical overall statistics whether its iterations are
+// materialised and flattened or streamed through a StreamStats sink.
+func TestStreamStatsMatchesMaterialised(t *testing.T) {
+	spec := KernelSpec{Iters: 400, CyclesPerIter: 90_000, Blocks: 3}
+
+	matDev, _ := newTestDevice(t, testConfig())
+	km, err := matDev.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matDev.Synchronize()
+
+	sinkDev, _ := newTestDevice(t, testConfig())
+	sink := NewStreamStats(100)
+	ks, err := sinkDev.LaunchWithSink(spec, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkDev.Synchronize()
+
+	want := stats.Describe(km.DurationsMs())
+	got := sink.MeanStd()
+	if want != got {
+		t.Fatalf("streamed stats %+v != materialised %+v", got, want)
+	}
+	if km.StartNs() != ks.StartNs() || km.EndNs() != ks.EndNs() {
+		t.Fatal("sink kernel timing diverged from materialised kernel")
+	}
+
+	// Per-block tails must match the "last 100, at most trailing half"
+	// window applied to the materialised trace.
+	blocks := km.Samples()
+	if sink.NumBlocks() != len(blocks) {
+		t.Fatalf("sink blocks = %d, want %d", sink.NumBlocks(), len(blocks))
+	}
+	for b, block := range blocks {
+		tailStart := len(block) - 100
+		if tailStart < len(block)/2 {
+			tailStart = len(block) / 2
+		}
+		var acc stats.Accumulator
+		for _, it := range block[tailStart:] {
+			acc.Add(float64(it.DurNs()) / 1e6)
+		}
+		if acc.MeanStd() != sink.BlockTail(b) {
+			t.Fatalf("block %d tail diverged: %+v vs %+v", b, sink.BlockTail(b), acc.MeanStd())
+		}
+	}
+
+	// Streamed skewness/kurtosis must agree with the two-pass slice
+	// versions to floating-point accuracy.
+	durs := km.DurationsMs()
+	if g1, want := sink.Skewness(), stats.Skewness(durs); math.Abs(g1-want) > 1e-9*math.Abs(want)+1e-12 {
+		t.Fatalf("skewness %v, want %v", g1, want)
+	}
+	if g2, want := sink.ExcessKurtosis(), stats.ExcessKurtosis(durs); math.Abs(g2-want) > 1e-9*math.Abs(want)+1e-12 {
+		t.Fatalf("kurtosis %v, want %v", g2, want)
+	}
+}
+
+// TestSinkKernelSamplesPanics documents that a streamed kernel keeps no
+// trace to return.
+func TestSinkKernelSamplesPanics(t *testing.T) {
+	dev, _ := newTestDevice(t, testConfig())
+	k, err := dev.LaunchWithSink(KernelSpec{Iters: 10, CyclesPerIter: 50_000, Blocks: 1}, NewStreamStats(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Synchronize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Samples() on a streamed kernel did not panic")
+		}
+	}()
+	_ = k.Samples()
+}
+
+// TestStreamStatsReset checks a sink can be reused across kernels.
+func TestStreamStatsReset(t *testing.T) {
+	dev, _ := newTestDevice(t, testConfig())
+	sink := NewStreamStats(0)
+	for round := 0; round < 3; round++ {
+		sink.Reset()
+		if _, err := dev.LaunchWithSink(KernelSpec{Iters: 50, CyclesPerIter: 50_000, Blocks: 2}, sink); err != nil {
+			t.Fatal(err)
+		}
+		dev.Synchronize()
+		if sink.N() != 100 {
+			t.Fatalf("round %d: N = %d, want 100", round, sink.N())
+		}
+		if sink.NumBlocks() != 2 {
+			t.Fatalf("round %d: blocks = %d", round, sink.NumBlocks())
+		}
+	}
+}
+
+// TestAppendDurationsMsReusesBuffer checks the pooled flatten path does
+// not grow a sufficient buffer.
+func TestAppendDurationsMsReusesBuffer(t *testing.T) {
+	dev, _ := newTestDevice(t, testConfig())
+	k, err := dev.Launch(KernelSpec{Iters: 64, CyclesPerIter: 50_000, Blocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Synchronize()
+
+	buf := make([]float64, 0, 256)
+	out := k.AppendDurationsMs(buf)
+	if len(out) != 128 {
+		t.Fatalf("len = %d, want 128", len(out))
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("sufficient buffer was reallocated")
+	}
+	if diff := len(k.DurationsMs()) - len(out); diff != 0 {
+		t.Fatalf("DurationsMs length differs by %d", diff)
+	}
+}

@@ -114,6 +114,75 @@ func (a *Accumulator) MeanStd() MeanStd {
 	return ms
 }
 
+// MomentAccumulator extends Accumulator to the third and fourth central
+// moments, so the streaming kernel-statistics path can run the phase-1
+// normality diagnostic (skewness/kurtosis) without materialising the
+// iteration population. Updates follow Pébay's one-pass formulas; the
+// mean/M2 recurrences are identical to Accumulator's, so Mean and Std
+// match Describe bit-for-bit over the same input order.
+type MomentAccumulator struct {
+	n          int
+	mean       float64
+	m2, m3, m4 float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *MomentAccumulator) Add(x float64) {
+	n1 := float64(a.n)
+	a.n++
+	n := float64(a.n)
+	delta := x - a.mean
+	dn := delta / n
+	dn2 := dn * dn
+	term1 := delta * dn * n1
+	a.mean += dn
+	a.m4 += term1*dn2*(n*n-3*n+3) + 6*dn2*a.m2 - 4*dn*a.m3
+	a.m3 += term1*dn*(n-2) - 3*dn*a.m2
+	a.m2 += term1
+}
+
+// N reports the number of observations added so far.
+func (a *MomentAccumulator) N() int { return a.n }
+
+// Reset returns the accumulator to its empty state so callers can reuse
+// one allocation across kernels.
+func (a *MomentAccumulator) Reset() { *a = MomentAccumulator{} }
+
+// MeanStd freezes the accumulator into a MeanStd snapshot.
+func (a *MomentAccumulator) MeanStd() MeanStd {
+	ms := MeanStd{N: a.n, Mean: a.mean}
+	switch {
+	case a.n == 0:
+		ms.Mean = math.NaN()
+		ms.Std = math.NaN()
+	case a.n == 1:
+		ms.Std = math.NaN()
+	default:
+		ms.Std = math.Sqrt(a.m2 / float64(a.n-1))
+	}
+	return ms
+}
+
+// Skewness returns the sample skewness (g1), or NaN for n < 3 or zero
+// variance, matching the slice-based Skewness convention.
+func (a *MomentAccumulator) Skewness() float64 {
+	if a.n < 3 || a.m2 == 0 {
+		return math.NaN()
+	}
+	n := float64(a.n)
+	return math.Sqrt(n) * a.m3 / math.Pow(a.m2, 1.5)
+}
+
+// ExcessKurtosis returns the sample excess kurtosis (g2), or NaN for
+// n < 4 or zero variance, matching the slice-based convention.
+func (a *MomentAccumulator) ExcessKurtosis() float64 {
+	if a.n < 4 || a.m2 == 0 {
+		return math.NaN()
+	}
+	n := float64(a.n)
+	return n*a.m4/(a.m2*a.m2) - 3
+}
+
 // Merge combines another accumulator into this one (parallel reduction of
 // per-SM partial statistics; Chan et al. parallel variance formula).
 func (a *Accumulator) Merge(b *Accumulator) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — tier-1 benchmark smoke for the campaign engine.
+#
+# Runs every campaign-sweep benchmark exactly once (compile + execute
+# smoke, not a timing run) and emits BENCH_campaign.json with ns/op,
+# bytes/op and allocs/op per benchmark, so the performance trajectory of
+# the sweep is tracked alongside the test suite:
+#
+#   ./scripts/bench_smoke.sh [output.json]
+#
+# Intended tier-1 invocation (see ROADMAP.md):
+#
+#   go build ./... && go test ./... && ./scripts/bench_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_campaign.json}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkCampaignSweep|BenchmarkPhase1Warmup' \
+	-benchtime 1x -benchmem .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v cores="$(nproc 2>/dev/null || echo 1)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	if (n == 0) {
+		print "bench_smoke: no benchmark output parsed" > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n  \"cores\": %d,\n  \"benchmarks\": {\n", cores
+	for (i = 0; i < n; i++) {
+		k = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			k, ns[k], bytes[k], allocs[k], (i < n-1 ? "," : "")
+	}
+	printf "  }\n}\n"
+}' >"$out"
+
+echo "bench_smoke: wrote $out"
