@@ -11,6 +11,7 @@ import (
 
 	"golatest/internal/core"
 	"golatest/internal/experiments"
+	"golatest/internal/store"
 )
 
 // benchSuite is shared across benchmarks: campaigns cache within one
@@ -98,6 +99,60 @@ func BenchmarkPhase1Warmup(b *testing.B) {
 		if len(p1.ValidPairs) == 0 {
 			b.Fatal("no valid pairs")
 		}
+	}
+}
+
+// BenchmarkSuiteCampaignCold measures a suite campaign that misses the
+// persistent store: the full compute plus the write-through. Paired with
+// BenchmarkSuiteCampaignWarm it quantifies what the content-addressed
+// store buys a repeated sweep (warm ≈ one blob decode).
+func BenchmarkSuiteCampaignCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := experiments.NewSuite(experiments.Options{
+			Scale: experiments.ScaleQuick, Seed: 7, Store: st,
+		})
+		b.StartTimer()
+		res, err := s.CampaignByKey("a100")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkSuiteCampaignWarm measures the same campaign served entirely
+// from the store: a fresh suite per iteration, so every access is a real
+// disk read and blob decode, never the in-process cache.
+func BenchmarkSuiteCampaignWarm(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Scale: experiments.ScaleQuick, Seed: 7, Store: st}
+	if _, err := experiments.NewSuite(opts).CampaignByKey("a100"); err != nil {
+		b.Fatal(err) // prewarm the store
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.NewSuite(opts).CampaignByKey("a100")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+	if c := st.Counters(); c.Misses > 1 || c.Puts > 1 {
+		b.Fatalf("warm benchmark recomputed: %+v", c)
 	}
 }
 

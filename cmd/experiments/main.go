@@ -7,9 +7,16 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only <id>] [-out results/]
+//	            [-cache-dir DIR] [-no-cache] [-fleet N] [-parallel N]
 //
 // Artefact ids: table1 table2 fig1 fig2 fig3a fig3b fig3c fig3d fig4
 // fig5 fig6 fig7 fig8 fig9 clusters cidegen cpuvsgpu (default: all).
+//
+// With -cache-dir, campaign results persist across runs as
+// content-addressed blobs (see internal/store): a repeated run with the
+// same scale and seed recomputes nothing and emits byte-identical
+// artefacts, and after a config change or an interrupt only the missing
+// campaigns run. -no-cache ignores the directory for one run.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"golatest/internal/core"
 	"golatest/internal/experiments"
 	"golatest/internal/report"
+	"golatest/internal/store"
 )
 
 func main() {
@@ -68,6 +76,9 @@ func run(args []string, out io.Writer) error {
 		outDir    = fs.String("out", "results", "output directory")
 		seed      = fs.Uint64("seed", 2025, "campaign seed")
 		parallel  = fs.Int("parallel", 0, "concurrent pair campaigns per sweep (0 = one per CPU, 1 = serial; results are identical at every setting)")
+		cacheDir  = fs.String("cache-dir", "", "persist campaign results as content-addressed blobs in this directory; warm re-runs recompute nothing")
+		noCache   = fs.Bool("no-cache", false, "ignore -cache-dir for this run: neither read nor write the store")
+		fleetN    = fs.Int("fleet", 0, "concurrent whole campaigns in multi-unit sweeps (0 = one per CPU; results are identical at every setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +102,21 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	suite := experiments.NewSuite(experiments.Options{Scale: scale, Seed: *seed, Parallelism: *parallel})
+	var st *store.Store
+	if *cacheDir != "" && !*noCache {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
+
+	suite := experiments.NewSuite(experiments.Options{
+		Scale:         scale,
+		Seed:          *seed,
+		Parallelism:   *parallel,
+		Store:         st,
+		FleetReplicas: *fleetN,
+	})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {
 			continue
@@ -101,6 +126,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", g.id, err)
 		}
 		fmt.Fprintf(out, "[%-8s] %-40s %8.2fs\n", g.id, g.doc, time.Since(start).Seconds())
+	}
+	if st != nil {
+		c := st.Counters()
+		fmt.Fprintf(out, "cache %s: %d hits, %d misses, %d writes, %d blobs\n",
+			st.Dir(), c.Hits, c.Misses, c.Puts, st.Len())
 	}
 	return nil
 }

@@ -50,6 +50,89 @@ func TestRunTable1Content(t *testing.T) {
 	}
 }
 
+// readArtefacts returns name → contents for every file in dir.
+func readArtefacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestCacheDeterminism is the acceptance contract of the persistent
+// store: a repeated -cache-dir run performs zero campaign recomputation
+// (the cache stats line reports no misses) and emits byte-identical
+// artefacts to the cold run. fig3c exercises a single-campaign artefact,
+// fig7 the fleet-sharded four-unit A100 sweep.
+func TestCacheDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five quick A100 campaigns")
+	}
+	cache := t.TempDir()
+	coldDir, warmDir := t.TempDir(), t.TempDir()
+	base := []string{"-scale", "quick", "-only", "fig3c,fig7", "-cache-dir", cache}
+
+	var coldOut bytes.Buffer
+	if err := run(append(base, "-out", coldDir), &coldOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldOut.String(), " 0 hits") {
+		t.Fatalf("cold run should start from an empty store:\n%s", coldOut.String())
+	}
+
+	var warmOut bytes.Buffer
+	if err := run(append(base, "-out", warmDir), &warmOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warmOut.String(), " 0 misses, 0 writes") {
+		t.Fatalf("warm run recomputed campaigns:\n%s", warmOut.String())
+	}
+
+	cold, warm := readArtefacts(t, coldDir), readArtefacts(t, warmDir)
+	if len(cold) == 0 || len(cold) != len(warm) {
+		t.Fatalf("artefact sets differ: %d cold, %d warm", len(cold), len(warm))
+	}
+	for name, want := range cold {
+		got, ok := warm[name]
+		if !ok {
+			t.Fatalf("warm run missing %s", name)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs between cold and warm runs", name)
+		}
+	}
+}
+
+// TestNoCacheFlag: -no-cache must neither read nor write the store.
+func TestNoCacheFlag(t *testing.T) {
+	cache := t.TempDir()
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-scale", "quick", "-only", "fig3c", "-cache-dir", cache, "-no-cache", "-out", dir}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "cache ") {
+		t.Fatalf("-no-cache still reported store traffic:\n%s", out.String())
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("-no-cache wrote %d entries to the cache dir", len(entries))
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scale", "medium"}, &out); err == nil {

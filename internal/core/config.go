@@ -24,6 +24,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"time"
@@ -225,6 +226,24 @@ func (c Config) withDefaults(dev *nvml.Device) (Config, error) {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c, nil
+}
+
+// CacheFingerprint returns the canonical encoding of the configuration
+// used to content-address campaign results (see internal/store). Two
+// configurations with the same fingerprint produce bit-for-bit identical
+// campaigns on the same device.
+//
+// Parallelism is excluded: results are identical at every parallelism
+// level (see Runner.Run), so including it would needlessly split the key
+// space. Every other field participates, including fields that still
+// carry their zero value — the fingerprint encodes the configuration as
+// written, not the default-filled effective configuration, so a caller
+// that spells a default out explicitly addresses a different (but
+// identically-valued) cache entry. That is deliberately conservative:
+// a spurious recompute is always correct, a spurious hit never is.
+func (c Config) CacheFingerprint() ([]byte, error) {
+	c.Parallelism = 0
+	return json.Marshal(c)
 }
 
 // AllPairs returns every ordered pair of distinct configured clocks, in

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"golatest/internal/hwprofile"
+	"golatest/internal/store"
+)
+
+// TestCampaignStoreWarm is the persistence contract: a second suite
+// sharing the store performs zero campaign recomputation (store hit
+// counters prove it) and derives byte-identical artefacts from the
+// stored blobs.
+func TestCampaignStoreWarm(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Scale: ScaleQuick, Seed: 5, Store: st}
+
+	cold := NewSuite(opts)
+	coldRes, err := cold.Campaign(hwprofile.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.runs.Load(); got != 1 {
+		t.Fatalf("cold suite runs = %d, want 1", got)
+	}
+	coldHeat, err := cold.Fig3Heatmap("a100", AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coldCSV bytes.Buffer
+	if err := coldHeat.WriteCSV(&coldCSV); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Counters()
+	if c.Puts != 1 || c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("cold counters = %+v", c)
+	}
+
+	// A fresh suite over the same store: everything is served from disk.
+	warm := NewSuite(opts)
+	warmRes, err := warm.Campaign(hwprofile.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.runs.Load(); got != 0 {
+		t.Fatalf("warm suite recomputed %d campaigns, want 0", got)
+	}
+	c = st.Counters()
+	if c.Hits != 1 || c.Puts != 1 {
+		t.Fatalf("warm counters = %+v", c)
+	}
+	if len(warmRes.Pairs) != len(coldRes.Pairs) {
+		t.Fatalf("pair count diverged: %d vs %d", len(warmRes.Pairs), len(coldRes.Pairs))
+	}
+
+	warmHeat, err := warm.Fig3Heatmap("a100", AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmCSV bytes.Buffer
+	if err := warmHeat.WriteCSV(&warmCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldCSV.Bytes(), warmCSV.Bytes()) {
+		t.Fatalf("warm artefact diverged from cold:\ncold:\n%s\nwarm:\n%s", coldCSV.String(), warmCSV.String())
+	}
+}
+
+// TestCampaignStoreKeySensitivity: a suite with a different seed shares
+// the store but not the cache entries.
+func TestCampaignStoreKeySensitivity(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSuite(Options{Scale: ScaleQuick, Seed: 5, Store: st})
+	if _, err := s1.Campaign(hwprofile.A100()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSuite(Options{Scale: ScaleQuick, Seed: 6, Store: st})
+	if _, err := s2.Campaign(hwprofile.A100()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.runs.Load(); got != 1 {
+		t.Fatalf("different seed hit the cache (runs = %d)", got)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d blobs, want 2 distinct keys", st.Len())
+	}
+}

@@ -9,7 +9,11 @@
 // every artefact derives from the cached results. Two scales exist:
 // ScaleQuick for benchmarks and tests (reduced frequency subsets and
 // repetition counts) and ScaleFull for the paper-shaped regeneration in
-// cmd/experiments.
+// cmd/experiments. With Options.Store set, campaign results additionally
+// persist across processes as content-addressed blobs (internal/store):
+// a re-run with unchanged inputs recomputes nothing and reproduces every
+// artefact byte for byte, and multi-unit studies shard over the fleet
+// pool (internal/fleet) so interrupted sweeps resume where they stopped.
 package experiments
 
 import (
@@ -18,9 +22,11 @@ import (
 	"sync/atomic"
 
 	"golatest/internal/core"
+	"golatest/internal/fleet"
 	"golatest/internal/hwprofile"
 	"golatest/internal/nvml"
 	"golatest/internal/sim/clock"
+	"golatest/internal/store"
 )
 
 // Scale selects campaign sizes.
@@ -54,6 +60,16 @@ type Options struct {
 	// Zero means one worker per CPU, 1 forces serial sweeps. Campaign
 	// results are identical at every setting.
 	Parallelism int
+	// Store, when non-nil, persists campaign results across processes as
+	// content-addressed blobs: Campaign consults it before computing and
+	// writes through after, so a warm re-run with unchanged inputs
+	// recomputes nothing. Campaigns are deterministic, so a stored result
+	// is indistinguishable from a fresh one.
+	Store *store.Store
+	// FleetReplicas bounds how many whole campaigns the multi-unit
+	// studies (A100Instances, Prewarm) run concurrently. Zero means one
+	// per CPU. Results are identical at every setting.
+	FleetReplicas int
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
@@ -161,6 +177,11 @@ func (s *Suite) runCampaign(p hwprofile.Profile, cfg core.Config) (*core.Result,
 // the same key collapse into one execution: the winner runs the campaign
 // and everyone else blocks until its result lands. A failed campaign is
 // not cached, so a later call retries.
+//
+// With Options.Store set, the singleflight winner first looks the
+// campaign up in the persistent store and only computes on a miss,
+// writing the fresh result through; either way the in-process cache is
+// populated, so the store is consulted at most once per key per Suite.
 func (s *Suite) Campaign(p hwprofile.Profile) (*core.Result, error) {
 	key := fmt.Sprintf("%s/%d", p.Key, p.Instance)
 	s.mu.Lock()
@@ -187,8 +208,7 @@ func (s *Suite) Campaign(p hwprofile.Profile) (*core.Result, error) {
 		}
 	}()
 
-	s.runs.Add(1)
-	c.res, c.err = s.runCampaign(p, s.campaignConfig(p))
+	c.res, c.err = s.storeBackedCampaign(p)
 	if c.err != nil {
 		c.err = fmt.Errorf("experiments: campaign %s: %w", key, c.err)
 		s.mu.Lock()
@@ -197,6 +217,33 @@ func (s *Suite) Campaign(p hwprofile.Profile) (*core.Result, error) {
 	}
 	close(c.done)
 	return c.res, c.err
+}
+
+// storeBackedCampaign resolves one campaign through the persistent store
+// when configured: hit ⇒ the stored result (no recomputation, runs
+// counter untouched), miss ⇒ compute and write through. Store write
+// failures are non-fatal — the cache is an optimisation and the computed
+// result in hand is correct — but a broken store also cannot invalidate
+// a campaign that already succeeded.
+func (s *Suite) storeBackedCampaign(p hwprofile.Profile) (*core.Result, error) {
+	cfg := s.campaignConfig(p)
+	var key store.Key
+	if s.opts.Store != nil {
+		k, err := store.ProfileKey(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		key = k
+		if res, ok := s.opts.Store.Get(key); ok {
+			return res, nil
+		}
+	}
+	s.runs.Add(1)
+	res, err := s.runCampaign(p, cfg)
+	if err == nil && s.opts.Store != nil {
+		_ = s.opts.Store.Put(key, res)
+	}
+	return res, err
 }
 
 // CampaignByKey resolves the profile by key and returns its campaign.
@@ -208,48 +255,50 @@ func (s *Suite) CampaignByKey(key string) (*core.Result, error) {
 	return s.Campaign(p)
 }
 
-// A100Instances returns campaigns for the four front-row A100 units of
-// §VII-C, run concurrently (each device owns an independent virtual
-// clock, so campaigns parallelise perfectly).
-func (s *Suite) A100Instances() ([]*core.Result, error) {
-	const units = 4
-	results := make([]*core.Result, units)
-	errs := make([]error, units)
-	var wg sync.WaitGroup
-	for i := 0; i < units; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = s.Campaign(hwprofile.A100Instance(i))
-		}(i)
+// sweep shards whole campaigns over the fleet pool. The fleet's own
+// store stays nil: Campaign already consults the suite's store (and the
+// in-process cache) per shard, so the fleet only contributes the bounded
+// replica pool and the shard report.
+func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
+	rep, err := fleet.Sweep(profiles, fleet.Options{
+		Replicas: s.opts.FleetReplicas,
+		Run: func(p hwprofile.Profile, _ core.Config) (*core.Result, error) {
+			return s.Campaign(p)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return rep.Results(), nil
 }
 
-// Prewarm runs the three main campaigns concurrently; artefact calls
-// afterwards hit the cache. Optional — artefacts run lazily regardless.
+// A100Instances returns campaigns for the four front-row A100 units of
+// §VII-C, sharded over the fleet pool (each shard runs on an independent
+// device replica with its own virtual clock, so shards parallelise
+// perfectly; FleetReplicas bounds how many are in flight).
+func (s *Suite) A100Instances() ([]*core.Result, error) {
+	return s.A100Fleet(4)
+}
+
+// A100Fleet generalises the §VII-C study to the first n A100 units —
+// the manufacturing-variability sweep at fleet scale. With a persistent
+// store configured, an interrupted or re-run sweep recomputes only the
+// units missing from the store.
+func (s *Suite) A100Fleet(n int) ([]*core.Result, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("experiments: negative fleet size %d", n)
+	}
+	profiles := make([]hwprofile.Profile, n)
+	for i := range profiles {
+		profiles[i] = hwprofile.A100Instance(i)
+	}
+	return s.sweep(profiles)
+}
+
+// Prewarm runs the three main campaigns over the fleet pool; artefact
+// calls afterwards hit the cache. Optional — artefacts run lazily
+// regardless.
 func (s *Suite) Prewarm() error {
-	profiles := hwprofile.All()
-	errs := make([]error, len(profiles))
-	var wg sync.WaitGroup
-	for i, p := range profiles {
-		wg.Add(1)
-		go func(i int, p hwprofile.Profile) {
-			defer wg.Done()
-			_, errs[i] = s.Campaign(p)
-		}(i, p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := s.sweep(hwprofile.All())
+	return err
 }

@@ -1,0 +1,220 @@
+// Package fleet shards multi-device campaign sweeps over a bounded pool
+// of device replicas, with optional persistent-store integration so an
+// interrupted or re-run sweep only recomputes the shards that are
+// missing from the store (resumable sweeps).
+//
+// A shard is one (hardware profile, campaign config) unit — e.g. one
+// A100 unit of the §VII-C manufacturing-variability study. Sweep walks
+// the shard list with Options.Replicas workers; each worker first looks
+// its shard up in the store (when one is configured), and only computes
+// on a miss, persisting the fresh result before moving on. Because every
+// completed shard is durable the moment it finishes, a sweep that dies
+// half-way — crash, ^C, a failing shard — resumes from the completed
+// prefix: the next Sweep call finds those shards in the store and
+// recomputes only the remainder.
+//
+// Campaigns are deterministic functions of their shard (profile,
+// instance, seeds, config — see internal/store's addressing), so a
+// sweep's results are identical whether a shard was computed this run,
+// last run, or by another process sharing the store, and identical at
+// every Replicas setting; the pool bounds memory and CPU, not the
+// outcome.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"golatest/internal/core"
+	"golatest/internal/hwprofile"
+	"golatest/internal/store"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Replicas bounds how many shards are in flight at once (each shard
+	// runs on its own device replica). Zero means one per CPU; the pool
+	// never exceeds the shard count. Results are identical at every
+	// setting.
+	Replicas int
+
+	// Store, when non-nil, is consulted before and written after every
+	// shard computation. Nil disables persistence: every shard computes.
+	// Callers whose Run already persists (e.g. a store-backed
+	// experiments.Suite) pass nil here to avoid double bookkeeping.
+	Store *store.Store
+
+	// Config maps a shard's profile to the campaign configuration it
+	// runs; required when Store is set (it feeds the content address).
+	Config func(hwprofile.Profile) core.Config
+
+	// Run computes one shard. Required.
+	Run func(hwprofile.Profile, core.Config) (*core.Result, error)
+}
+
+func (o Options) replicas(shards int) int {
+	n := o.Replicas
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > shards {
+		n = shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Shard is one unit of a sweep report.
+type Shard struct {
+	Profile hwprofile.Profile
+	// Key is the shard's content address (zero when no store is
+	// configured).
+	Key store.Key
+	// Result is the shard's campaign; nil when the shard errored or was
+	// never reached before the sweep aborted.
+	Result *core.Result
+	// FromCache reports whether Result was read from the store rather
+	// than computed.
+	FromCache bool
+	// Err is the shard's failure, if any.
+	Err error
+}
+
+// Report summarises a sweep.
+type Report struct {
+	Shards []Shard
+	// Hits counts shards served from the store; Computed counts shards
+	// actually run. Hits + Computed can be less than len(Shards) when an
+	// aborted sweep left shards unreached.
+	Hits, Computed int
+}
+
+// Results returns the shard results in shard order. Only meaningful when
+// Sweep returned no error (every shard then has a result).
+func (r *Report) Results() []*core.Result {
+	out := make([]*core.Result, len(r.Shards))
+	for i := range r.Shards {
+		out[i] = r.Shards[i].Result
+	}
+	return out
+}
+
+// Plan reports, per shard, whether the store already holds its result —
+// i.e. what a Sweep would skip. Without a store every entry is false.
+func Plan(profiles []hwprofile.Profile, opts Options) ([]bool, error) {
+	cached := make([]bool, len(profiles))
+	if opts.Store == nil {
+		return cached, nil
+	}
+	if opts.Config == nil {
+		return nil, fmt.Errorf("fleet: store configured without a Config function")
+	}
+	for i, p := range profiles {
+		k, err := store.ProfileKey(p, opts.Config(p))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: key for %s/%d: %w", p.Key, p.Instance, err)
+		}
+		cached[i] = opts.Store.Has(k)
+	}
+	return cached, nil
+}
+
+// Sweep runs one campaign per profile over the replica pool and returns
+// the per-shard report. On the first shard error the sweep stops handing
+// out new shards (in-flight shards finish) and returns that error
+// alongside the partial report; every shard completed before the abort
+// has already been persisted, so a follow-up Sweep resumes rather than
+// restarts.
+func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
+	if opts.Run == nil {
+		return nil, fmt.Errorf("fleet: Options.Run is required")
+	}
+	if opts.Store != nil && opts.Config == nil {
+		return nil, fmt.Errorf("fleet: store configured without a Config function")
+	}
+
+	rep := &Report{Shards: make([]Shard, len(profiles))}
+	for i, p := range profiles {
+		rep.Shards[i].Profile = p
+	}
+	if len(profiles) == 0 {
+		return rep, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		hits     atomic.Int64
+		computed atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < opts.replicas(len(profiles)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(profiles) || failed.Load() {
+					return
+				}
+				sh := &rep.Shards[i]
+				if err := runShard(sh, opts, &hits, &computed); err != nil {
+					sh.Err = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Hits = int(hits.Load())
+	rep.Computed = int(computed.Load())
+
+	for i := range rep.Shards {
+		if rep.Shards[i].Err != nil {
+			return rep, fmt.Errorf("fleet: shard %s/%d: %w",
+				rep.Shards[i].Profile.Key, rep.Shards[i].Profile.Instance, rep.Shards[i].Err)
+		}
+	}
+	return rep, nil
+}
+
+// runShard resolves one shard: store lookup, compute on miss, persist.
+func runShard(sh *Shard, opts Options, hits, computed *atomic.Int64) error {
+	var cfg core.Config
+	if opts.Config != nil {
+		cfg = opts.Config(sh.Profile)
+	}
+	if opts.Store != nil {
+		k, err := store.ProfileKey(sh.Profile, cfg)
+		if err != nil {
+			return err
+		}
+		sh.Key = k
+		if res, ok := opts.Store.Get(k); ok {
+			sh.Result = res
+			sh.FromCache = true
+			hits.Add(1)
+			return nil
+		}
+	}
+	res, err := opts.Run(sh.Profile, cfg)
+	if err != nil {
+		return err
+	}
+	sh.Result = res
+	computed.Add(1)
+	if opts.Store != nil {
+		// A failed write means the store the caller asked for is broken
+		// (full disk, bad permissions); surfacing it beats silently
+		// recomputing every shard forever.
+		if err := opts.Store.Put(sh.Key, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

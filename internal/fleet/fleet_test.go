@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"golatest/internal/core"
+	"golatest/internal/hwprofile"
+	"golatest/internal/store"
+)
+
+func testProfiles(n int) []hwprofile.Profile {
+	out := make([]hwprofile.Profile, n)
+	for i := range out {
+		out[i] = hwprofile.A100Instance(i)
+	}
+	return out
+}
+
+func testConfig(p hwprofile.Profile) core.Config {
+	return core.Config{
+		Frequencies: []float64{705, 1065, 1410},
+		Seed:        100 + uint64(p.Instance),
+	}
+}
+
+// fakeRun produces a tiny synthetic result and counts invocations; fleet
+// never inspects result internals, so campaigns need not be real here.
+func fakeRun(calls *atomic.Int64) func(hwprofile.Profile, core.Config) (*core.Result, error) {
+	return func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+		calls.Add(1)
+		return &core.Result{
+			DeviceName:   fmt.Sprintf("%s[%d]", p.Key, p.Instance),
+			Architecture: p.Config.Architecture,
+		}, nil
+	}
+}
+
+func TestSweepComputesThenHits(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(3)
+	var calls atomic.Int64
+	opts := Options{Store: st, Config: testConfig, Run: fakeRun(&calls)}
+
+	rep, err := Sweep(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 || rep.Computed != 3 || rep.Hits != 0 {
+		t.Fatalf("cold sweep: calls=%d computed=%d hits=%d", calls.Load(), rep.Computed, rep.Hits)
+	}
+	for i, sh := range rep.Shards {
+		if sh.Result == nil || sh.FromCache {
+			t.Fatalf("shard %d: %+v", i, sh)
+		}
+		if sh.Key.Digest == "" {
+			t.Fatalf("shard %d has no content address", i)
+		}
+	}
+
+	// Warm sweep: everything served from the store, zero recomputation.
+	rep2, err := Sweep(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 || rep2.Computed != 0 || rep2.Hits != 3 {
+		t.Fatalf("warm sweep: calls=%d computed=%d hits=%d", calls.Load(), rep2.Computed, rep2.Hits)
+	}
+	for i, sh := range rep2.Shards {
+		if !sh.FromCache || sh.Result == nil {
+			t.Fatalf("warm shard %d not from cache: %+v", i, sh)
+		}
+		if sh.Result.DeviceName != rep.Shards[i].Result.DeviceName {
+			t.Fatalf("warm shard %d result diverged", i)
+		}
+	}
+	if got := rep2.Results(); len(got) != 3 || got[2].DeviceName != "a100[2]" {
+		t.Fatalf("Results() = %v", got)
+	}
+}
+
+func TestSweepResumesAfterFailure(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(4)
+	var calls atomic.Int64
+	inner := fakeRun(&calls)
+
+	// First sweep dies on unit 2. Replicas=1 makes the completed prefix
+	// deterministic: units 0 and 1 land in the store before the abort.
+	failing := Options{Replicas: 1, Store: st, Config: testConfig,
+		Run: func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+			if p.Instance == 2 {
+				return nil, fmt.Errorf("device fell off the bus")
+			}
+			return inner(p, cfg)
+		}}
+	rep, err := Sweep(profiles, failing)
+	if err == nil {
+		t.Fatal("failing sweep reported success")
+	}
+	if rep.Computed != 2 || rep.Shards[2].Err == nil || rep.Shards[3].Result != nil {
+		t.Fatalf("partial report: computed=%d shards=%+v", rep.Computed, rep.Shards)
+	}
+
+	// The plan shows exactly the completed prefix as cached.
+	cached, err := Plan(profiles, failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []bool{true, true, false, false}; fmt.Sprint(cached) != fmt.Sprint(want) {
+		t.Fatalf("Plan = %v, want %v", cached, want)
+	}
+
+	// The healed re-run recomputes only the missing shards.
+	calls.Store(0)
+	rep2, err := Sweep(profiles, Options{Replicas: 1, Store: st, Config: testConfig, Run: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 || rep2.Hits != 2 || rep2.Computed != 2 {
+		t.Fatalf("resume: calls=%d hits=%d computed=%d", calls.Load(), rep2.Hits, rep2.Computed)
+	}
+	if !rep2.Shards[0].FromCache || !rep2.Shards[1].FromCache ||
+		rep2.Shards[2].FromCache || rep2.Shards[3].FromCache {
+		t.Fatalf("resume cache pattern: %+v", rep2.Shards)
+	}
+}
+
+func TestSweepBoundsReplicas(t *testing.T) {
+	var inFlight, peak, calls atomic.Int64
+	opts := Options{Replicas: 2,
+		Run: func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+			n := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			calls.Add(1)
+			return &core.Result{}, nil
+		}}
+	rep, err := Sweep(testProfiles(6), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 6 || rep.Computed != 6 {
+		t.Fatalf("calls=%d computed=%d", calls.Load(), rep.Computed)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("replica pool peaked at %d, bound is 2", p)
+	}
+}
+
+func TestSweepWithoutStore(t *testing.T) {
+	var calls atomic.Int64
+	opts := Options{Run: fakeRun(&calls)}
+	rep, err := Sweep(testProfiles(2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 || rep.Hits != 0 || rep.Computed != 2 {
+		t.Fatalf("calls=%d rep=%+v", calls.Load(), rep)
+	}
+	cached, err := Plan(testProfiles(2), opts)
+	if err != nil || cached[0] || cached[1] {
+		t.Fatalf("Plan without store: %v %v", cached, err)
+	}
+}
+
+func TestSweepOptionValidation(t *testing.T) {
+	if _, err := Sweep(testProfiles(1), Options{}); err == nil {
+		t.Fatal("missing Run accepted")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(testProfiles(1), Options{Store: st, Run: fakeRun(new(atomic.Int64))}); err == nil {
+		t.Fatal("store without Config accepted")
+	}
+}

@@ -1,0 +1,358 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"golatest/internal/cluster"
+	"golatest/internal/core"
+	"golatest/internal/stats"
+)
+
+// f64 is a float64 that survives JSON: encoding/json rejects NaN and the
+// infinities, but campaign results legitimately contain them (e.g. a
+// Measurement.InjectedMs is NaN when the simulator could not attribute
+// the injection, and an empty population summarises to NaN). Non-finite
+// values encode as the strings "NaN", "+Inf" and "-Inf"; finite values
+// encode as the shortest decimal that round-trips the exact bit pattern,
+// so a decoded blob reproduces every sample bit for bit.
+type f64 float64
+
+func (f f64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+func (f *f64) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = f64(math.NaN())
+		case "+Inf":
+			*f = f64(math.Inf(1))
+		case "-Inf":
+			*f = f64(math.Inf(-1))
+		default:
+			return fmt.Errorf("store: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = f64(v)
+	return nil
+}
+
+func toF64s(xs []float64) []f64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]f64, len(xs))
+	for i, x := range xs {
+		out[i] = f64(x)
+	}
+	return out
+}
+
+func fromF64s(xs []f64) []float64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// The stored* types below are the on-disk schema, deliberately decoupled
+// from the in-memory types: in-memory layouts may change freely, but any
+// change that alters this schema (or the meaning of a stored field) MUST
+// bump SchemaVersion so stale blobs read as misses instead of decoding
+// into garbage. The only structural divergence from internal/core is
+// Phase1's Stats: JSON objects cannot key on float64, so the map is
+// flattened to a frequency-sorted slice (FreqStats carries its own
+// FreqMHz, making the flattening lossless).
+
+type storedBlob struct {
+	Schema   int          `json:"schema"`
+	Digest   string       `json:"digest"`
+	Profile  string       `json:"profile"`
+	Instance int          `json:"instance"`
+	Result   storedResult `json:"result"`
+}
+
+type storedResult struct {
+	DeviceName    string        `json:"device_name"`
+	Architecture  string        `json:"architecture"`
+	CaptureHintNs int64         `json:"capture_hint_ns"`
+	Phase1        *storedPhase1 `json:"phase1,omitempty"`
+	Pairs         []*storedPair `json:"pairs"`
+}
+
+type storedPhase1 struct {
+	Stats      []storedFreqStats `json:"stats"`
+	ValidPairs []core.Pair       `json:"valid_pairs"`
+	Excluded   []core.Pair       `json:"excluded"`
+	Unstable   []float64         `json:"unstable"`
+}
+
+type storedFreqStats struct {
+	FreqMHz   float64 `json:"freq_mhz"`
+	N         int     `json:"n"`
+	Mean      f64     `json:"mean"`
+	Std       f64     `json:"std"`
+	Normalish bool    `json:"normalish"`
+}
+
+type storedPair struct {
+	Pair                core.Pair           `json:"pair"`
+	Measurements        []storedMeasurement `json:"measurements"`
+	Samples             []f64               `json:"samples"`
+	Injected            []f64               `json:"injected"`
+	Attempts            int                 `json:"attempts"`
+	Failures            int                 `json:"failures"`
+	DiscardedByThrottle int                 `json:"discarded_by_throttle"`
+	ThrottleEvents      int                 `json:"throttle_events"`
+	Skipped             bool                `json:"skipped"`
+	SkipReason          string              `json:"skip_reason,omitempty"`
+	Kept                []f64               `json:"kept"`
+	Outliers            []f64               `json:"outliers"`
+	Clusters            *storedClusters     `json:"clusters,omitempty"`
+	Summary             storedSummary       `json:"summary"`
+	FinalRSE            f64                 `json:"final_rse"`
+}
+
+type storedMeasurement struct {
+	Pair            core.Pair `json:"pair"`
+	LatencyMs       f64       `json:"latency_ms"`
+	TsDevNs         int64     `json:"ts_dev_ns"`
+	TeDevNs         int64     `json:"te_dev_ns"`
+	SM              int       `json:"sm"`
+	TransitionIndex int       `json:"transition_index"`
+	InjectedMs      f64       `json:"injected_ms"`
+	SyncSpreadNs    int64     `json:"sync_spread_ns"`
+}
+
+type storedClusters struct {
+	Labels      []int `json:"labels"`
+	NumClusters int   `json:"num_clusters"`
+	Eps         f64   `json:"eps"`
+	MinPts      int   `json:"min_pts"`
+}
+
+type storedSummary struct {
+	N      int `json:"n"`
+	Mean   f64 `json:"mean"`
+	Std    f64 `json:"std"`
+	Min    f64 `json:"min"`
+	Q05    f64 `json:"q05"`
+	Q25    f64 `json:"q25"`
+	Median f64 `json:"median"`
+	Q75    f64 `json:"q75"`
+	Q95    f64 `json:"q95"`
+	Max    f64 `json:"max"`
+}
+
+func encodeResult(res *core.Result) storedResult {
+	sr := storedResult{
+		DeviceName:    res.DeviceName,
+		Architecture:  res.Architecture,
+		CaptureHintNs: res.CaptureHintNs,
+	}
+	if res.Phase1 != nil {
+		p1 := &storedPhase1{
+			ValidPairs: res.Phase1.ValidPairs,
+			Excluded:   res.Phase1.Excluded,
+			Unstable:   res.Phase1.Unstable,
+		}
+		for _, fs := range res.Phase1.Stats {
+			p1.Stats = append(p1.Stats, storedFreqStats{
+				FreqMHz:   fs.FreqMHz,
+				N:         fs.Iter.N,
+				Mean:      f64(fs.Iter.Mean),
+				Std:       f64(fs.Iter.Std),
+				Normalish: fs.Normalish,
+			})
+		}
+		sort.Slice(p1.Stats, func(i, j int) bool { return p1.Stats[i].FreqMHz < p1.Stats[j].FreqMHz })
+		sr.Phase1 = p1
+	}
+	for _, pr := range res.Pairs {
+		if pr == nil {
+			sr.Pairs = append(sr.Pairs, nil)
+			continue
+		}
+		sp := &storedPair{
+			Pair:                pr.Pair,
+			Samples:             toF64s(pr.Samples),
+			Injected:            toF64s(pr.Injected),
+			Attempts:            pr.Attempts,
+			Failures:            pr.Failures,
+			DiscardedByThrottle: pr.DiscardedByThrottle,
+			ThrottleEvents:      pr.ThrottleEvents,
+			Skipped:             pr.Skipped,
+			SkipReason:          pr.SkipReason,
+			Kept:                toF64s(pr.Kept),
+			Outliers:            toF64s(pr.Outliers),
+			Summary:             encodeSummary(pr.Summary),
+			FinalRSE:            f64(pr.FinalRSE),
+		}
+		for _, m := range pr.Measurements {
+			sp.Measurements = append(sp.Measurements, storedMeasurement{
+				Pair:            m.Pair,
+				LatencyMs:       f64(m.LatencyMs),
+				TsDevNs:         m.TsDevNs,
+				TeDevNs:         m.TeDevNs,
+				SM:              m.SM,
+				TransitionIndex: m.TransitionIndex,
+				InjectedMs:      f64(m.InjectedMs),
+				SyncSpreadNs:    m.SyncSpreadNs,
+			})
+		}
+		if pr.Clusters != nil {
+			sp.Clusters = &storedClusters{
+				Labels:      pr.Clusters.Labels,
+				NumClusters: pr.Clusters.NumClusters,
+				Eps:         f64(pr.Clusters.Eps),
+				MinPts:      pr.Clusters.MinPts,
+			}
+		}
+		sr.Pairs = append(sr.Pairs, sp)
+	}
+	return sr
+}
+
+func encodeSummary(s stats.Summary) storedSummary {
+	return storedSummary{
+		N: s.N, Mean: f64(s.Mean), Std: f64(s.Std), Min: f64(s.Min),
+		Q05: f64(s.Q05), Q25: f64(s.Q25), Median: f64(s.Median),
+		Q75: f64(s.Q75), Q95: f64(s.Q95), Max: f64(s.Max),
+	}
+}
+
+func decodeSummary(s storedSummary) stats.Summary {
+	return stats.Summary{
+		N: s.N, Mean: float64(s.Mean), Std: float64(s.Std), Min: float64(s.Min),
+		Q05: float64(s.Q05), Q25: float64(s.Q25), Median: float64(s.Median),
+		Q75: float64(s.Q75), Q95: float64(s.Q95), Max: float64(s.Max),
+	}
+}
+
+func decodeResult(sr storedResult) *core.Result {
+	res := &core.Result{
+		DeviceName:    sr.DeviceName,
+		Architecture:  sr.Architecture,
+		CaptureHintNs: sr.CaptureHintNs,
+	}
+	if sr.Phase1 != nil {
+		p1 := &core.Phase1Result{
+			Stats:      make(map[float64]core.FreqStats, len(sr.Phase1.Stats)),
+			ValidPairs: sr.Phase1.ValidPairs,
+			Excluded:   sr.Phase1.Excluded,
+			Unstable:   sr.Phase1.Unstable,
+		}
+		for _, fs := range sr.Phase1.Stats {
+			p1.Stats[fs.FreqMHz] = core.FreqStats{
+				FreqMHz: fs.FreqMHz,
+				Iter: stats.MeanStd{
+					N:    fs.N,
+					Mean: float64(fs.Mean),
+					Std:  float64(fs.Std),
+				},
+				Normalish: fs.Normalish,
+			}
+		}
+		res.Phase1 = p1
+	}
+	for _, sp := range sr.Pairs {
+		if sp == nil {
+			res.Pairs = append(res.Pairs, nil)
+			continue
+		}
+		pr := &core.PairResult{
+			Pair:                sp.Pair,
+			Samples:             fromF64s(sp.Samples),
+			Injected:            fromF64s(sp.Injected),
+			Attempts:            sp.Attempts,
+			Failures:            sp.Failures,
+			DiscardedByThrottle: sp.DiscardedByThrottle,
+			ThrottleEvents:      sp.ThrottleEvents,
+			Skipped:             sp.Skipped,
+			SkipReason:          sp.SkipReason,
+			Kept:                fromF64s(sp.Kept),
+			Outliers:            fromF64s(sp.Outliers),
+			Summary:             decodeSummary(sp.Summary),
+			FinalRSE:            float64(sp.FinalRSE),
+		}
+		for _, m := range sp.Measurements {
+			pr.Measurements = append(pr.Measurements, core.Measurement{
+				Pair:            m.Pair,
+				LatencyMs:       float64(m.LatencyMs),
+				TsDevNs:         m.TsDevNs,
+				TeDevNs:         m.TeDevNs,
+				SM:              m.SM,
+				TransitionIndex: m.TransitionIndex,
+				InjectedMs:      float64(m.InjectedMs),
+				SyncSpreadNs:    m.SyncSpreadNs,
+			})
+		}
+		if sp.Clusters != nil {
+			pr.Clusters = &cluster.Result{
+				Labels:      sp.Clusters.Labels,
+				NumClusters: sp.Clusters.NumClusters,
+				Eps:         float64(sp.Clusters.Eps),
+				MinPts:      sp.Clusters.MinPts,
+			}
+		}
+		res.Pairs = append(res.Pairs, pr)
+	}
+	return res
+}
+
+// encodeBlob renders the versioned on-disk form of a campaign result.
+func encodeBlob(k Key, res *core.Result) ([]byte, error) {
+	b := storedBlob{
+		Schema:   SchemaVersion,
+		Digest:   k.Digest,
+		Profile:  k.Profile,
+		Instance: k.Instance,
+		Result:   encodeResult(res),
+	}
+	return json.MarshalIndent(b, "", " ")
+}
+
+// decodeBlob parses a blob and validates its envelope against the key it
+// was looked up under. Any mismatch — schema drift, a blob renamed onto
+// the wrong digest, plain corruption — is an error; callers treat every
+// decode error as a cache miss and recompute.
+func decodeBlob(data []byte, k Key) (*core.Result, error) {
+	var b storedBlob
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: blob %s: %w", k.Digest, err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("store: blob %s: schema %d, want %d", k.Digest, b.Schema, SchemaVersion)
+	}
+	if b.Digest != k.Digest {
+		return nil, fmt.Errorf("store: blob digest %s does not match key %s", b.Digest, k.Digest)
+	}
+	return decodeResult(b.Result), nil
+}

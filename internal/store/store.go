@@ -1,0 +1,386 @@
+// Package store persists campaign results as content-addressed,
+// versioned JSON blobs, so that repeated and incremental sweeps are
+// near-free: a campaign whose inputs have not changed is read back from
+// disk instead of being re-simulated.
+//
+// # Addressing
+//
+// A campaign is identified by a Key whose digest is the SHA-256 of the
+// canonical encoding of everything its result is a deterministic
+// function of:
+//
+//   - the hardware profile key and unit instance (which select the
+//     calibrated architecture model),
+//   - the device seed (which fixes the simulator's entire random future),
+//   - the canonicalized core.Config (every knob that shapes the
+//     campaign; Parallelism is excluded because results are bit-for-bit
+//     identical at every parallelism level — see Config.CacheFingerprint),
+//   - the store schema version (so a code change that alters blob
+//     structure or meaning invalidates every older blob at once).
+//
+// Campaigns are deterministic given those inputs, which is what makes
+// content addressing sound: equal key ⇒ equal result, so a hit can be
+// substituted for a recompute without changing a single output byte.
+//
+// # Durability and tolerance
+//
+// Blobs are written to a temporary file in the store directory and
+// atomically renamed into place, so a crash mid-write never leaves a
+// half-written blob under a valid digest name. Reads are corruption
+// tolerant: a blob that fails to parse, carries the wrong schema
+// version, or does not match its digest is treated as a miss (the
+// campaign is recomputed and the blob rewritten), never as an error.
+// The store keeps an index manifest (manifest.json) describing every
+// blob; a missing or corrupt manifest is rebuilt by scanning the blobs.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"golatest/internal/core"
+	"golatest/internal/hwprofile"
+)
+
+// SchemaVersion is the on-disk blob schema version. Bump it whenever the
+// stored* types in codec.go change shape or meaning, or when a campaign
+// code change makes previously-stored results non-reproducible; every
+// blob written under an older version then misses (both through the key
+// digest and the envelope check) and is recomputed.
+const SchemaVersion = 1
+
+// manifestName is the index file; it is not a blob.
+const manifestName = "manifest.json"
+
+// Key is the content address of one campaign result.
+type Key struct {
+	// Digest is the hex SHA-256 of the canonical key material.
+	Digest string
+	// Profile and Instance echo the hardware identity for manifests and
+	// logs; they are inputs to the digest, not extra key dimensions.
+	Profile  string
+	Instance int
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s/%d@%.12s", k.Profile, k.Instance, k.Digest) }
+
+func (k Key) blobName() string { return k.Digest + ".json" }
+
+// KeyFor derives the content address of a campaign from its inputs. The
+// digest covers the schema version, so schema bumps invalidate the whole
+// key space rather than relying on the envelope check alone.
+func KeyFor(profileKey string, instance int, deviceSeed uint64, cfg core.Config) (Key, error) {
+	fp, err := cfg.CacheFingerprint()
+	if err != nil {
+		return Key{}, fmt.Errorf("store: fingerprint config: %w", err)
+	}
+	material, err := json.Marshal(struct {
+		Schema     int             `json:"schema"`
+		Profile    string          `json:"profile"`
+		Instance   int             `json:"instance"`
+		DeviceSeed uint64          `json:"device_seed"`
+		Config     json.RawMessage `json:"config"`
+	}{SchemaVersion, profileKey, instance, deviceSeed, fp})
+	if err != nil {
+		return Key{}, fmt.Errorf("store: key material: %w", err)
+	}
+	sum := sha256.Sum256(material)
+	return Key{Digest: hex.EncodeToString(sum[:]), Profile: profileKey, Instance: instance}, nil
+}
+
+// ProfileKey derives the content address of the campaign that cfg would
+// run on profile p.
+func ProfileKey(p hwprofile.Profile, cfg core.Config) (Key, error) {
+	return KeyFor(p.Key, p.Instance, p.Config.Seed, cfg)
+}
+
+// Counters reports store traffic. Hits and Misses partition Get calls;
+// Corrupt counts the subset of misses caused by an unreadable or invalid
+// blob; Puts counts successful writes.
+type Counters struct {
+	Hits    int64
+	Misses  int64
+	Corrupt int64
+	Puts    int64
+}
+
+// ManifestEntry describes one blob in the index manifest.
+type ManifestEntry struct {
+	Digest   string `json:"digest"`
+	Profile  string `json:"profile"`
+	Instance int    `json:"instance"`
+	Schema   int    `json:"schema"`
+}
+
+// Store is a directory of campaign blobs plus an index manifest. All
+// methods are safe for concurrent use by multiple goroutines of one
+// process. Cross-process writers are coordinated only by the atomicity
+// of rename: for blobs that is fully benign (two processes computing
+// the same key write identical bytes), and manifest writes merge with
+// the on-disk index first, though a lost update between merge and
+// rename can still transiently undercount until the next write or
+// rebuild — see the ROADMAP open item for real cross-process locking.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex // guards manifest map and manifest file writes
+	manifest map[string]ManifestEntry
+
+	hits, misses, corrupt, puts atomic.Int64
+}
+
+// Open creates the directory if needed and loads (or rebuilds) the
+// manifest.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, manifest: make(map[string]ManifestEntry)}
+	if err := s.loadManifest(); err != nil {
+		// Corrupt or missing manifest: rebuild from the blobs on disk.
+		if err := s.rebuildManifest(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters returns a snapshot of the traffic counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Corrupt: s.corrupt.Load(),
+		Puts:    s.puts.Load(),
+	}
+}
+
+// Has reports whether a blob exists for the key, without reading or
+// validating it and without touching the hit/miss counters. A planner's
+// convenience; only Get vouches for the blob's integrity.
+func (s *Store) Has(k Key) bool {
+	_, err := os.Stat(filepath.Join(s.dir, k.blobName()))
+	return err == nil
+}
+
+// Get returns the stored campaign for the key, or (nil, false) on any
+// kind of miss: no blob, unparseable blob, schema mismatch, or digest
+// mismatch. Invalid blobs are never fatal — the contract is that the
+// caller recomputes and Puts, overwriting the bad blob.
+func (s *Store) Get(k Key) (*core.Result, bool) {
+	data, err := os.ReadFile(filepath.Join(s.dir, k.blobName()))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	res, err := decodeBlob(data, k)
+	if err != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return res, true
+}
+
+// Put stores the campaign under the key, atomically: the blob is staged
+// in a temporary file and renamed into place, so concurrent readers see
+// either the old blob or the new one, never a torn write.
+func (s *Store) Put(k Key, res *core.Result) error {
+	if res == nil {
+		return fmt.Errorf("store: nil result for %s", k)
+	}
+	data, err := encodeBlob(k, res)
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	if err := s.writeAtomic(k.blobName(), data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.manifest[k.Digest] = ManifestEntry{
+		Digest:   k.Digest,
+		Profile:  k.Profile,
+		Instance: k.Instance,
+		Schema:   SchemaVersion,
+	}
+	return s.writeManifestLocked()
+}
+
+// Index returns the manifest entries sorted by (profile, instance,
+// digest).
+func (s *Store) Index() []ManifestEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ManifestEntry, 0, len(s.manifest))
+	for _, e := range s.manifest {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Profile != out[j].Profile {
+			return out[i].Profile < out[j].Profile
+		}
+		if out[i].Instance != out[j].Instance {
+			return out[i].Instance < out[j].Instance
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
+}
+
+// Len returns the number of indexed blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.manifest)
+}
+
+// writeAtomic stages data in a temp file in the store directory (same
+// filesystem, so the rename is atomic) and renames it over name.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("store: stage %s: %w", name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: stage %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: stage %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: commit %s: %w", name, err)
+	}
+	return nil
+}
+
+type manifestFile struct {
+	Schema  int             `json:"schema"`
+	Entries []ManifestEntry `json:"entries"`
+}
+
+func (s *Store) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// An empty store is a valid store; only rebuild when blobs
+			// exist without an index.
+			if s.countBlobs() == 0 {
+				return nil
+			}
+		}
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	var m manifestFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	if m.Schema != SchemaVersion {
+		return fmt.Errorf("store: manifest schema %d, want %d", m.Schema, SchemaVersion)
+	}
+	for _, e := range m.Entries {
+		s.manifest[e.Digest] = e
+	}
+	return nil
+}
+
+// rebuildManifest recreates the index by reading every blob envelope in
+// the directory. Blobs that do not parse are skipped (they will miss and
+// be rewritten on their next Get/Put cycle).
+func (s *Store) rebuildManifest() error {
+	s.manifest = make(map[string]ManifestEntry)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: rebuild manifest: %w", err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || name == manifestName || !strings.HasSuffix(name, ".json") ||
+			strings.HasPrefix(name, ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var b storedBlob
+		if err := json.Unmarshal(data, &b); err != nil || b.Schema != SchemaVersion ||
+			b.Digest+".json" != name {
+			continue
+		}
+		s.manifest[b.Digest] = ManifestEntry{
+			Digest:   b.Digest,
+			Profile:  b.Profile,
+			Instance: b.Instance,
+			Schema:   b.Schema,
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeManifestLocked()
+}
+
+func (s *Store) countBlobs() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range entries {
+		name := de.Name()
+		if !de.IsDir() && name != manifestName && strings.HasSuffix(name, ".json") &&
+			!strings.HasPrefix(name, ".") {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Store) writeManifestLocked() error {
+	// Merge with whatever is on disk first: another process sharing the
+	// directory may have indexed blobs this process never saw, and a
+	// plain rewrite from local state would drop them. (Blob contents
+	// are immune to this race — same key ⇒ identical bytes — the
+	// manifest is the one mutable aggregate; see the ROADMAP locking
+	// open item for the remaining lost-update window between this read
+	// and the rename.)
+	if data, err := os.ReadFile(filepath.Join(s.dir, manifestName)); err == nil {
+		var disk manifestFile
+		if json.Unmarshal(data, &disk) == nil && disk.Schema == SchemaVersion {
+			for _, e := range disk.Entries {
+				if _, ok := s.manifest[e.Digest]; !ok {
+					s.manifest[e.Digest] = e
+				}
+			}
+		}
+	}
+	m := manifestFile{Schema: SchemaVersion}
+	for _, e := range s.manifest {
+		m.Entries = append(m.Entries, e)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Digest < m.Entries[j].Digest })
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	return s.writeAtomic(manifestName, data)
+}
