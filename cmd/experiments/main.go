@@ -8,6 +8,8 @@
 //
 //	experiments [-scale quick|full] [-only <id>] [-out results/]
 //	            [-cache-dir DIR] [-no-cache] [-fleet N] [-parallel N]
+//	            [-lease-ttl D] [-owner ID]
+//	            [-gc] [-max-store-bytes N] [-max-store-age D]
 //
 // Artefact ids: table1 table2 fig1 fig2 fig3a fig3b fig3c fig3d fig4
 // fig5 fig6 fig7 fig8 fig9 clusters cidegen cpuvsgpu (default: all).
@@ -17,6 +19,15 @@
 // same scale and seed recomputes nothing and emits byte-identical
 // artefacts, and after a config change or an interrupt only the missing
 // campaigns run. -no-cache ignores the directory for one run.
+//
+// With -lease-ttl, multi-unit sweeps additionally claim each campaign
+// through an advisory store lease before computing it, so several
+// processes pointed at the same -cache-dir partition a sweep instead of
+// duplicating it (each still finishes with every result). -gc bounds the
+// store after the run: -max-store-bytes evicts least-recently-used blobs
+// past the size cap, -max-store-age evicts blobs idle longer than the
+// bound, and crash debris (orphaned temp files, expired leases) is swept
+// either way.
 package main
 
 import (
@@ -79,6 +90,11 @@ func run(args []string, out io.Writer) error {
 		cacheDir  = fs.String("cache-dir", "", "persist campaign results as content-addressed blobs in this directory; warm re-runs recompute nothing")
 		noCache   = fs.Bool("no-cache", false, "ignore -cache-dir for this run: neither read nor write the store")
 		fleetN    = fs.Int("fleet", 0, "concurrent whole campaigns in multi-unit sweeps (0 = one per CPU; results are identical at every setting)")
+		leaseTTL  = fs.Duration("lease-ttl", 0, "claim sweep shards via store leases so concurrent processes sharing -cache-dir partition the work; the TTL should exceed one campaign's runtime (0 = off)")
+		owner     = fs.String("owner", "", "lease owner id for -lease-ttl (default: derived from host and pid)")
+		gc        = fs.Bool("gc", false, "after the run, garbage-collect the store per -max-store-bytes/-max-store-age and sweep crash debris")
+		maxBytes  = fs.Int64("max-store-bytes", 0, "with -gc: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
+		maxAge    = fs.Duration("max-store-age", 0, "with -gc: evict blobs not accessed for longer than this (0 = no age bound)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,12 +126,30 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if st == nil {
+		needsStore := ""
+		switch {
+		case *leaseTTL > 0:
+			needsStore = "-lease-ttl"
+		case *gc:
+			needsStore = "-gc"
+		}
+		if needsStore != "" {
+			if *noCache && *cacheDir != "" {
+				return fmt.Errorf("%s conflicts with -no-cache (the run would not open the store)", needsStore)
+			}
+			return fmt.Errorf("%s requires -cache-dir (leases and GC live in the store directory)", needsStore)
+		}
+	}
+
 	suite := experiments.NewSuite(experiments.Options{
 		Scale:         scale,
 		Seed:          *seed,
 		Parallelism:   *parallel,
 		Store:         st,
 		FleetReplicas: *fleetN,
+		LeaseTTL:      *leaseTTL,
+		LeaseOwner:    *owner,
 	})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {
@@ -131,6 +165,20 @@ func run(args []string, out io.Writer) error {
 		c := st.Counters()
 		fmt.Fprintf(out, "cache %s: %d hits, %d misses, %d writes, %d blobs\n",
 			st.Dir(), c.Hits, c.Misses, c.Puts, st.Len())
+		if *leaseTTL > 0 {
+			ct := suite.Contention()
+			fmt.Fprintf(out, "leases: %d claimed, %d waited, %d stolen\n",
+				ct.Claimed, ct.Waited, ct.Stolen)
+		}
+		if *gc {
+			gs, err := st.GC(store.GCPolicy{MaxBytes: *maxBytes, MaxAge: *maxAge})
+			if err != nil {
+				return fmt.Errorf("gc: %w", err)
+			}
+			fmt.Fprintf(out, "gc: evicted %d of %d blobs, %d -> %d bytes, swept %d tmp + %d leases\n",
+				gs.Evicted, gs.Scanned, gs.BytesBefore, gs.BytesAfter,
+				gs.TmpRemoved, gs.LeasesRemoved)
+		}
 	}
 	return nil
 }

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -109,6 +113,128 @@ func TestCacheDeterminism(t *testing.T) {
 		if !bytes.Equal(want, got) {
 			t.Fatalf("%s differs between cold and warm runs", name)
 		}
+	}
+}
+
+// TestCrossProcessSweepPartition is the acceptance contract of the
+// lease-coordinated store: two concurrent runs — goroutine "processes",
+// each with its own Store handle — sweep the same fleet artefact over
+// one cache directory, and between them compute each shard exactly once
+// (the combined write count equals the shard count) while both emit
+// byte-identical artefacts.
+func TestCrossProcessSweepPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four-unit A100 sweep")
+	}
+	cache := t.TempDir()
+	// fig7 is the §VII-C four-unit A100 sweep: 4 shards.
+	const shards = 4
+	base := []string{"-scale", "quick", "-only", "fig7", "-cache-dir", cache, "-lease-ttl", "1m"}
+
+	type proc struct {
+		out bytes.Buffer
+		dir string
+		err error
+	}
+	procs := [2]*proc{{dir: t.TempDir()}, {dir: t.TempDir()}}
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		args := append(append([]string{}, base...), "-owner", fmt.Sprintf("proc-%d", i), "-out", p.dir)
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			p.err = run(args, &p.out)
+		}(p)
+	}
+	wg.Wait()
+
+	writesRe := regexp.MustCompile(`(\d+) writes`)
+	total := 0
+	for i, p := range procs {
+		if p.err != nil {
+			t.Fatalf("proc %d: %v\n%s", i, p.err, p.out.String())
+		}
+		m := writesRe.FindStringSubmatch(p.out.String())
+		if m == nil {
+			t.Fatalf("proc %d reported no cache stats:\n%s", i, p.out.String())
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if !strings.Contains(p.out.String(), "leases:") {
+			t.Fatalf("proc %d reported no lease stats:\n%s", i, p.out.String())
+		}
+	}
+	if total != shards {
+		t.Fatalf("combined writes = %d, want exactly %d (shards duplicated or lost across processes)",
+			total, shards)
+	}
+
+	a, b := readArtefacts(t, procs[0].dir), readArtefacts(t, procs[1].dir)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("artefact sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, want := range a {
+		got, ok := b[name]
+		if !ok {
+			t.Fatalf("second process missing %s", name)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs between the two processes", name)
+		}
+	}
+}
+
+// TestGCFlag: -gc with a size bound of one byte must evict every blob
+// the previous run stored and report it.
+func TestGCFlag(t *testing.T) {
+	cache := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-only", "fig3c", "-cache-dir", cache,
+		"-out", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 writes") {
+		t.Fatalf("seed run wrote nothing:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-scale", "quick", "-only", "table1", "-cache-dir", cache,
+		"-gc", "-max-store-bytes", "1", "-out", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gc: evicted 1 of 1 blobs") {
+		t.Fatalf("gc did not evict the blob:\n%s", out.String())
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "manifest.json" && strings.HasSuffix(e.Name(), ".json") {
+			t.Fatalf("blob %s survived -gc -max-store-bytes 1", e.Name())
+		}
+	}
+}
+
+// TestFlagValidation: coordination flags require the store they act on,
+// and the error names the actual conflict.
+func TestCoordinationFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-lease-ttl", "1m", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("-lease-ttl without -cache-dir accepted")
+	}
+	if err := run([]string{"-gc", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("-gc without -cache-dir accepted")
+	}
+	err := run([]string{"-gc", "-cache-dir", t.TempDir(), "-no-cache", "-out", t.TempDir()}, &out)
+	if err == nil {
+		t.Fatal("-gc with -no-cache accepted")
+	}
+	if !strings.Contains(err.Error(), "-no-cache") {
+		t.Errorf("error %q blames -cache-dir although it was given; the conflict is -no-cache", err)
 	}
 }
 

@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"golatest/internal/core"
 	"golatest/internal/hwprofile"
 	"golatest/internal/store"
 )
@@ -67,6 +71,70 @@ func TestCampaignStoreWarm(t *testing.T) {
 	}
 	if !bytes.Equal(coldCSV.Bytes(), warmCSV.Bytes()) {
 		t.Fatalf("warm artefact diverged from cold:\ncold:\n%s\nwarm:\n%s", coldCSV.String(), warmCSV.String())
+	}
+}
+
+// TestFleetLeasePartition: two suites — the two-process shape, each with
+// its own Store handle on one directory — sweep the same A100 fleet in
+// lease mode. Each unit's campaign must run exactly once across both
+// suites, and both must end with the full result set.
+func TestFleetLeasePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two quick A100 campaigns")
+	}
+	dir := t.TempDir()
+	const units = 2
+	type proc struct {
+		suite *Suite
+		res   []*core.Result
+		err   error
+	}
+	procs := make([]*proc, 2)
+	var wg sync.WaitGroup
+	for i := range procs {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &proc{suite: NewSuite(Options{
+			Scale:      ScaleQuick,
+			Seed:       5,
+			Store:      st,
+			LeaseTTL:   time.Minute,
+			LeaseOwner: fmt.Sprintf("suite-%d", i),
+		})}
+		procs[i] = p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.res, p.err = p.suite.A100Fleet(units)
+		}()
+	}
+	wg.Wait()
+
+	var runs int64
+	for i, p := range procs {
+		if p.err != nil {
+			t.Fatalf("suite %d: %v", i, p.err)
+		}
+		if len(p.res) != units {
+			t.Fatalf("suite %d returned %d results, want %d", i, len(p.res), units)
+		}
+		runs += p.suite.runs.Load()
+	}
+	if runs != units {
+		t.Fatalf("campaigns ran %d times across both suites, want exactly %d (sweep not partitioned)",
+			runs, units)
+	}
+	for u := 0; u < units; u++ {
+		if procs[0].res[u].DeviceName != procs[1].res[u].DeviceName ||
+			len(procs[0].res[u].Pairs) != len(procs[1].res[u].Pairs) {
+			t.Fatalf("unit %d diverged between suites", u)
+		}
+	}
+	c0, c1 := procs[0].suite.Contention(), procs[1].suite.Contention()
+	if c0.Claimed+c1.Claimed != units {
+		t.Fatalf("claims = %d + %d, want %d total", c0.Claimed, c1.Claimed, units)
 	}
 }
 

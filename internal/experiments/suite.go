@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"golatest/internal/core"
 	"golatest/internal/fleet"
@@ -70,6 +71,16 @@ type Options struct {
 	// studies (A100Instances, Prewarm) run concurrently. Zero means one
 	// per CPU. Results are identical at every setting.
 	FleetReplicas int
+	// LeaseTTL, when positive (requires Store), coordinates multi-unit
+	// sweeps across processes: each shard is claimed through a store
+	// lease before computing, so concurrent processes sharing a cache
+	// directory partition a sweep instead of duplicating it. Size it to
+	// comfortably exceed one campaign's runtime. Zero keeps sweeps
+	// single-process (the PR-2 behaviour).
+	LeaseTTL time.Duration
+	// LeaseOwner identifies this process in lease files; empty derives a
+	// host/pid id. Results never depend on it.
+	LeaseOwner string
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
@@ -86,6 +97,28 @@ type Suite struct {
 	// runs counts campaign executions (not cache hits); tests use it to
 	// assert the singleflight collapses concurrent duplicate calls.
 	runs atomic.Int64
+
+	// Lease-mode contention, accumulated over every fleet sweep this
+	// suite ran; see Contention.
+	claimed, waited, stolen atomic.Int64
+}
+
+// Contention reports the cross-process coordination a suite's sweeps
+// experienced: leases claimed (shards this process computed under a
+// claim), shards resolved by waiting on another process's claim, and
+// expired leases stolen from dead processes. All zero outside lease
+// mode.
+type Contention struct {
+	Claimed, Waited, Stolen int64
+}
+
+// Contention returns the accumulated lease-contention counters.
+func (s *Suite) Contention() Contention {
+	return Contention{
+		Claimed: s.claimed.Load(),
+		Waited:  s.waited.Load(),
+		Stolen:  s.stolen.Load(),
+	}
 }
 
 // campaignCall is one singleflight entry: done closes once res/err are
@@ -255,17 +288,40 @@ func (s *Suite) CampaignByKey(key string) (*core.Result, error) {
 	return s.Campaign(p)
 }
 
-// sweep shards whole campaigns over the fleet pool. The fleet's own
-// store stays nil: Campaign already consults the suite's store (and the
-// in-process cache) per shard, so the fleet only contributes the bounded
-// replica pool and the shard report.
+// sweep shards whole campaigns over the fleet pool.
+//
+// Single-process mode (no LeaseTTL): the fleet's own store stays nil —
+// Campaign already consults the suite's store (and the in-process
+// cache) per shard, so the fleet only contributes the bounded replica
+// pool and the shard report.
+//
+// Lease mode (Store + LeaseTTL): the fleet owns the store lookup, the
+// lease claim/wait/steal loop, and the write-through, and the shard
+// runner computes directly (bypassing the suite's singleflight, which
+// would double-book the store traffic). Later Campaign calls for the
+// same profiles are store hits.
 func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
-	rep, err := fleet.Sweep(profiles, fleet.Options{
-		Replicas: s.opts.FleetReplicas,
-		Run: func(p hwprofile.Profile, _ core.Config) (*core.Result, error) {
+	fo := fleet.Options{Replicas: s.opts.FleetReplicas}
+	if s.opts.Store != nil && s.opts.LeaseTTL > 0 {
+		fo.Store = s.opts.Store
+		fo.Config = s.campaignConfig
+		fo.LeaseTTL = s.opts.LeaseTTL
+		fo.Owner = s.opts.LeaseOwner
+		fo.Run = func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+			s.runs.Add(1)
+			return s.runCampaign(p, cfg)
+		}
+	} else {
+		fo.Run = func(p hwprofile.Profile, _ core.Config) (*core.Result, error) {
 			return s.Campaign(p)
-		},
-	})
+		}
+	}
+	rep, err := fleet.Sweep(profiles, fo)
+	if rep != nil {
+		s.claimed.Add(int64(rep.Claimed))
+		s.waited.Add(int64(rep.Waited))
+		s.stolen.Add(int64(rep.Stolen))
+	}
 	if err != nil {
 		return nil, err
 	}

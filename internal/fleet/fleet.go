@@ -13,24 +13,45 @@
 // prefix: the next Sweep call finds those shards in the store and
 // recomputes only the remainder.
 //
+// # Cross-process sweeps
+//
+// With Options.LeaseTTL set, a sweep additionally claims each missing
+// shard through an advisory store lease before computing it. Two (or
+// twenty) processes pointed at the same store directory then partition
+// the sweep instead of duplicating it: a worker that finds a shard
+// claimed by a live peer waits, polling the store until the peer's
+// result lands; a worker that finds an expired claim (the peer died)
+// steals it and computes. Every process finishes with the complete
+// result set — claims decide who computes, the store delivers the
+// results to everyone. Report's Claimed/Waited/Stolen counters expose
+// the contention.
+//
 // Campaigns are deterministic functions of their shard (profile,
 // instance, seeds, config — see internal/store's addressing), so a
 // sweep's results are identical whether a shard was computed this run,
 // last run, or by another process sharing the store, and identical at
-// every Replicas setting; the pool bounds memory and CPU, not the
-// outcome.
+// every Replicas setting; the pool and the leases bound duplicated
+// effort, not the outcome.
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"golatest/internal/core"
 	"golatest/internal/hwprofile"
 	"golatest/internal/store"
 )
+
+// defaultWaitPoll is how often a worker re-checks a shard held by a
+// peer; campaigns run for tens of milliseconds and up, so polling much
+// faster only burns syscalls.
+const defaultWaitPoll = 25 * time.Millisecond
 
 // Options configures a sweep.
 type Options struct {
@@ -52,6 +73,24 @@ type Options struct {
 
 	// Run computes one shard. Required.
 	Run func(hwprofile.Profile, core.Config) (*core.Result, error)
+
+	// LeaseTTL, when positive (requires Store), turns on cross-process
+	// claims: a worker acquires `<digest>.lease` before computing a
+	// missing shard, renews it at TTL/2 while the campaign runs, and
+	// releases it after the Put. Size it to comfortably exceed one
+	// shard's compute time; an expired lease is stolen by the next
+	// worker that wants the shard.
+	LeaseTTL time.Duration
+
+	// Owner labels this process in lease files for observability. Empty
+	// generates a host/pid-derived id. Claims are exclusive per lease
+	// file regardless — processes sharing an Owner string still
+	// partition correctly.
+	Owner string
+
+	// WaitPoll is how often a worker re-checks a shard held by a live
+	// peer. Zero means a sensible default.
+	WaitPoll time.Duration
 }
 
 func (o Options) replicas(shards int) int {
@@ -78,7 +117,8 @@ type Shard struct {
 	// never reached before the sweep aborted.
 	Result *core.Result
 	// FromCache reports whether Result was read from the store rather
-	// than computed.
+	// than computed — including results another process computed while
+	// this sweep waited on its claim.
 	FromCache bool
 	// Err is the shard's failure, if any.
 	Err error
@@ -91,6 +131,11 @@ type Report struct {
 	// actually run. Hits + Computed can be less than len(Shards) when an
 	// aborted sweep left shards unreached.
 	Hits, Computed int
+	// Contention counters, populated in lease mode: Claimed counts
+	// leases this sweep acquired, Waited counts shards it resolved by
+	// waiting on a peer's claim, Stolen counts expired leases it took
+	// over from dead peers.
+	Claimed, Waited, Stolen int
 }
 
 // Results returns the shard results in shard order. Only meaningful when
@@ -123,18 +168,49 @@ func Plan(profiles []hwprofile.Profile, opts Options) ([]bool, error) {
 	return cached, nil
 }
 
+// errAborted marks a shard abandoned because the sweep failed elsewhere
+// while this worker was waiting on a peer's claim: the shard is
+// unreached, not failed.
+var errAborted = errors.New("fleet: sweep aborted")
+
+// sweeper carries one Sweep invocation's shared state.
+type sweeper struct {
+	opts  Options
+	owner string
+
+	failed                                  atomic.Bool
+	hits, computed, claimed, waited, stolen atomic.Int64
+}
+
+// defaultOwner derives a lease owner id unique enough for a fleet:
+// hostname-qualified pid plus a clock-disambiguated suffix for multiple
+// sweeps in one process.
+func defaultOwner() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown-host"
+	}
+	return fmt.Sprintf("%s:%d:%d", host, os.Getpid(), time.Now().UnixNano())
+}
+
 // Sweep runs one campaign per profile over the replica pool and returns
 // the per-shard report. On the first shard error the sweep stops handing
-// out new shards (in-flight shards finish) and returns that error
-// alongside the partial report; every shard completed before the abort
-// has already been persisted, so a follow-up Sweep resumes rather than
-// restarts.
+// out new shards (in-flight shards finish) and returns that error —
+// wrapped with the failing shard's identity — alongside the partial
+// report; every shard completed before the abort has already been
+// persisted, so a follow-up Sweep resumes rather than restarts.
 func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 	if opts.Run == nil {
 		return nil, fmt.Errorf("fleet: Options.Run is required")
 	}
 	if opts.Store != nil && opts.Config == nil {
 		return nil, fmt.Errorf("fleet: store configured without a Config function")
+	}
+	if opts.LeaseTTL > 0 && opts.Store == nil {
+		return nil, fmt.Errorf("fleet: LeaseTTL configured without a store")
+	}
+	if opts.LeaseTTL < 0 {
+		return nil, fmt.Errorf("fleet: negative LeaseTTL %v", opts.LeaseTTL)
 	}
 
 	rep := &Report{Shards: make([]Shard, len(profiles))}
@@ -145,12 +221,14 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 		return rep, nil
 	}
 
+	sw := &sweeper{opts: opts, owner: opts.Owner}
+	if sw.owner == "" {
+		sw.owner = defaultOwner()
+	}
+
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		hits     atomic.Int64
-		computed atomic.Int64
-		wg       sync.WaitGroup
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < opts.replicas(len(profiles)); w++ {
 		wg.Add(1)
@@ -158,63 +236,174 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(profiles) || failed.Load() {
+				if i >= len(profiles) || sw.failed.Load() {
 					return
 				}
 				sh := &rep.Shards[i]
-				if err := runShard(sh, opts, &hits, &computed); err != nil {
+				if err := sw.runShard(sh); err != nil {
+					if errors.Is(err, errAborted) {
+						return // unreached, not failed
+					}
 					sh.Err = err
-					failed.Store(true)
+					sw.failed.Store(true)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	rep.Hits = int(hits.Load())
-	rep.Computed = int(computed.Load())
+	rep.Hits = int(sw.hits.Load())
+	rep.Computed = int(sw.computed.Load())
+	rep.Claimed = int(sw.claimed.Load())
+	rep.Waited = int(sw.waited.Load())
+	rep.Stolen = int(sw.stolen.Load())
 
 	for i := range rep.Shards {
 		if rep.Shards[i].Err != nil {
-			return rep, fmt.Errorf("fleet: shard %s/%d: %w",
-				rep.Shards[i].Profile.Key, rep.Shards[i].Profile.Instance, rep.Shards[i].Err)
+			return rep, fmt.Errorf("fleet: shard %d (%s/%d): %w",
+				i, rep.Shards[i].Profile.Key, rep.Shards[i].Profile.Instance, rep.Shards[i].Err)
 		}
 	}
 	return rep, nil
 }
 
-// runShard resolves one shard: store lookup, compute on miss, persist.
-func runShard(sh *Shard, opts Options, hits, computed *atomic.Int64) error {
+// runShard resolves one shard: store lookup, claim (in lease mode),
+// compute on miss, persist.
+func (w *sweeper) runShard(sh *Shard) error {
 	var cfg core.Config
-	if opts.Config != nil {
-		cfg = opts.Config(sh.Profile)
+	if w.opts.Config != nil {
+		cfg = w.opts.Config(sh.Profile)
 	}
-	if opts.Store != nil {
+	if w.opts.Store != nil {
 		k, err := store.ProfileKey(sh.Profile, cfg)
 		if err != nil {
 			return err
 		}
 		sh.Key = k
-		if res, ok := opts.Store.Get(k); ok {
+		if res, ok := w.opts.Store.Get(k); ok {
 			sh.Result = res
 			sh.FromCache = true
-			hits.Add(1)
+			w.hits.Add(1)
 			return nil
 		}
+		if w.opts.LeaseTTL > 0 {
+			return w.claimAndRun(sh, cfg)
+		}
 	}
-	res, err := opts.Run(sh.Profile, cfg)
+	return w.computeAndPersist(sh, cfg, nil)
+}
+
+// claimAndRun is the cross-process loop: claim the shard's lease and
+// compute, or wait on a live peer's claim until its result lands in the
+// store, stealing the claim if the peer's lease expires first.
+func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
+	st := w.opts.Store
+	poll := w.opts.WaitPoll
+	if poll <= 0 {
+		poll = defaultWaitPoll
+	}
+	waitedHere := false
+	for {
+		lease, ok, err := st.TryAcquire(sh.Key.Digest, w.owner, w.opts.LeaseTTL)
+		if err != nil {
+			return fmt.Errorf("claim: %w", err)
+		}
+		if ok {
+			w.claimed.Add(1)
+			if lease.Stolen {
+				w.stolen.Add(1)
+			}
+			// The previous holder may have finished between our miss and
+			// this claim; a hit here is its result, not a wasted claim.
+			if res, hit := st.Get(sh.Key); hit {
+				_ = lease.Release()
+				sh.Result = res
+				sh.FromCache = true
+				w.hits.Add(1)
+				return nil
+			}
+			return w.computeAndPersist(sh, cfg, lease)
+		}
+		// A live peer holds the claim: its result will appear in the
+		// store, or its lease will expire and the claim attempt above
+		// will steal. Either way the shard resolves.
+		if !waitedHere {
+			waitedHere = true
+			w.waited.Add(1)
+		}
+		if w.failed.Load() {
+			return errAborted
+		}
+		time.Sleep(poll)
+		if st.Has(sh.Key) {
+			if res, hit := st.Get(sh.Key); hit {
+				sh.Result = res
+				sh.FromCache = true
+				w.hits.Add(1)
+				return nil
+			}
+			// Has saw a blob Get could not read: the corrupt blob was
+			// healed; loop back to claim and recompute it.
+		}
+	}
+}
+
+// computeAndPersist runs the shard and writes it through, renewing the
+// lease (when one is held) at half-TTL so a long campaign is not stolen
+// mid-compute.
+func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease *store.Lease) error {
+	var stopRenew func()
+	if lease != nil {
+		stopRenew = renewLoop(lease, w.opts.LeaseTTL)
+	}
+	res, err := w.opts.Run(sh.Profile, cfg)
+	if stopRenew != nil {
+		stopRenew()
+	}
+	if lease != nil {
+		defer lease.Release()
+	}
 	if err != nil {
 		return err
 	}
 	sh.Result = res
-	computed.Add(1)
-	if opts.Store != nil {
+	w.computed.Add(1)
+	if w.opts.Store != nil {
 		// A failed write means the store the caller asked for is broken
 		// (full disk, bad permissions); surfacing it beats silently
 		// recomputing every shard forever.
-		if err := opts.Store.Put(sh.Key, res); err != nil {
-			return err
+		if err := w.opts.Store.Put(sh.Key, res); err != nil {
+			return fmt.Errorf("persist: %w", err)
 		}
 	}
 	return nil
+}
+
+// renewLoop keeps a held lease fresh until stopped. The returned stop
+// function blocks until the renewer has exited, so a Release that
+// follows cannot race a final Renew.
+func renewLoop(lease *store.Lease, ttl time.Duration) func() {
+	interval := ttl / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = lease.Renew(ttl)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }

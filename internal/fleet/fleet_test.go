@@ -2,6 +2,9 @@ package fleet
 
 import (
 	"fmt"
+	"os"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -188,5 +191,246 @@ func TestSweepOptionValidation(t *testing.T) {
 	}
 	if _, err := Sweep(testProfiles(1), Options{Store: st, Run: fakeRun(new(atomic.Int64))}); err == nil {
 		t.Fatal("store without Config accepted")
+	}
+	if _, err := Sweep(testProfiles(1), Options{Run: fakeRun(new(atomic.Int64)), LeaseTTL: time.Minute}); err == nil {
+		t.Fatal("LeaseTTL without store accepted")
+	}
+	if _, err := Sweep(testProfiles(1), Options{Store: st, Config: testConfig,
+		Run: fakeRun(new(atomic.Int64)), LeaseTTL: -time.Second}); err == nil {
+		t.Fatal("negative LeaseTTL accepted")
+	}
+}
+
+// TestSweepErrorCarriesShardIdentity: a failing shard's error must name
+// the shard (profile/instance), and the failure must not roll back
+// sibling shards already persisted — the resume contract depends on
+// those writes surviving the abort.
+func TestSweepErrorCarriesShardIdentity(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(4)
+	var calls atomic.Int64
+	inner := fakeRun(&calls)
+	opts := Options{Replicas: 1, Store: st, Config: testConfig,
+		Run: func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+			if p.Instance == 2 {
+				return nil, fmt.Errorf("device fell off the bus")
+			}
+			return inner(p, cfg)
+		}}
+	rep, err := Sweep(profiles, opts)
+	if err == nil {
+		t.Fatal("failing sweep reported success")
+	}
+	for _, want := range []string{"a100/2", "shard 2", "device fell off the bus"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name the failing shard (want %q)", err, want)
+		}
+	}
+
+	// Sibling shards completed before the abort are durable in the store.
+	for i := 0; i < 2; i++ {
+		k, kerr := store.ProfileKey(profiles[i], testConfig(profiles[i]))
+		if kerr != nil {
+			t.Fatal(kerr)
+		}
+		if !st.Has(k) {
+			t.Fatalf("completed sibling shard %d lost its store write after the abort", i)
+		}
+		if _, ok := st.Get(k); !ok {
+			t.Fatalf("sibling shard %d blob unreadable after the abort", i)
+		}
+	}
+	if rep.Computed != 2 {
+		t.Fatalf("computed = %d, want 2 completed siblings", rep.Computed)
+	}
+}
+
+// TestSweepLeasePartition is the cross-process acceptance shape: two
+// sweeps racing over one store directory must compute each shard exactly
+// once between them, and both must finish with identical full results.
+func TestSweepLeasePartition(t *testing.T) {
+	dir := t.TempDir()
+	profiles := testProfiles(6)
+	type proc struct {
+		rep   *Report
+		err   error
+		calls atomic.Int64
+	}
+	procs := make([]*proc, 2)
+	var wg sync.WaitGroup
+	for i := range procs {
+		p := &proc{}
+		procs[i] = p
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := fmt.Sprintf("proc-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.rep, p.err = Sweep(profiles, Options{
+				Store:    st,
+				Config:   testConfig,
+				Run:      fakeRun(&p.calls),
+				LeaseTTL: time.Minute,
+				Owner:    owner,
+				WaitPoll: 2 * time.Millisecond,
+			})
+		}()
+	}
+	wg.Wait()
+
+	var computed, calls int64
+	for i, p := range procs {
+		if p.err != nil {
+			t.Fatalf("proc %d: %v", i, p.err)
+		}
+		computed += int64(p.rep.Computed)
+		calls += p.calls.Load()
+		for j, sh := range p.rep.Shards {
+			if sh.Result == nil {
+				t.Fatalf("proc %d shard %d has no result", i, j)
+			}
+		}
+	}
+	if computed != int64(len(profiles)) || calls != int64(len(profiles)) {
+		t.Fatalf("computed=%d calls=%d across both procs, want exactly %d each (shards duplicated or lost)",
+			computed, calls, len(profiles))
+	}
+	// Both reports carry the identical result set, shard for shard.
+	for j := range profiles {
+		a := procs[0].rep.Shards[j].Result
+		b := procs[1].rep.Shards[j].Result
+		if a.DeviceName != b.DeviceName || a.Architecture != b.Architecture {
+			t.Fatalf("shard %d diverged between procs: %+v vs %+v", j, a, b)
+		}
+	}
+}
+
+// TestSweepLeaseWaitsForPeer: a shard claimed by a live peer is not
+// recomputed — the sweep waits and takes the peer's result from the
+// store.
+func TestSweepLeaseWaitsForPeer(t *testing.T) {
+	dir := t.TempDir()
+	stPeer, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stLocal, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(2)
+	k0, err := store.ProfileKey(profiles[0], testConfig(profiles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "peer": holds shard 0's lease, delivers its result mid-sweep.
+	lease, ok, err := stPeer.TryAcquire(k0.Digest, "peer", time.Minute)
+	if err != nil || !ok {
+		t.Fatalf("peer claim: ok=%v err=%v", ok, err)
+	}
+	peerDone := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		if err := stPeer.Put(k0, &core.Result{DeviceName: "a100[0]"}); err != nil {
+			peerDone <- err
+			return
+		}
+		peerDone <- lease.Release()
+	}()
+
+	var calls atomic.Int64
+	rep, err := Sweep(profiles, Options{
+		Store: stLocal, Config: testConfig, Run: fakeRun(&calls),
+		LeaseTTL: time.Minute, Owner: "local", WaitPoll: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-peerDone; err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+	if calls.Load() != 1 || rep.Computed != 1 {
+		t.Fatalf("local sweep computed %d shards (calls=%d), want only the unclaimed one",
+			rep.Computed, calls.Load())
+	}
+	if rep.Waited != 1 {
+		t.Fatalf("Waited = %d, want 1", rep.Waited)
+	}
+	if !rep.Shards[0].FromCache || rep.Shards[0].Result.DeviceName != "a100[0]" {
+		t.Fatalf("shard 0 not served from the peer's write: %+v", rep.Shards[0])
+	}
+}
+
+// TestSweepLeaseStealsExpired: a dead peer's expired lease must not
+// block the shard forever — the sweep steals it and computes.
+func TestSweepLeaseStealsExpired(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(2)
+	k0, err := store.ProfileKey(profiles[0], testConfig(profiles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lease whose holder died: tiny TTL, never renewed, never released.
+	if _, ok, err := st.TryAcquire(k0.Digest, "dead-peer", time.Millisecond); err != nil || !ok {
+		t.Fatalf("dead peer claim: ok=%v err=%v", ok, err)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	var calls atomic.Int64
+	rep, err := Sweep(profiles, Options{
+		Store: st, Config: testConfig, Run: fakeRun(&calls),
+		LeaseTTL: time.Minute, Owner: "survivor", WaitPoll: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Computed != 2 || calls.Load() != 2 {
+		t.Fatalf("computed=%d calls=%d, want both shards computed", rep.Computed, calls.Load())
+	}
+	if rep.Stolen != 1 {
+		t.Fatalf("Stolen = %d, want 1", rep.Stolen)
+	}
+}
+
+// TestSweepLeaseWarmIsAllHits: lease mode changes who computes, never
+// what a warm sweep looks like.
+func TestSweepLeaseWarmIsAllHits(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(3)
+	var calls atomic.Int64
+	opts := Options{Store: st, Config: testConfig, Run: fakeRun(&calls),
+		LeaseTTL: time.Minute, Owner: "solo", WaitPoll: 2 * time.Millisecond}
+	if _, err := Sweep(profiles, opts); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sweep(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits != 3 || rep.Computed != 0 || rep.Claimed != 0 || calls.Load() != 3 {
+		t.Fatalf("warm lease sweep: %+v calls=%d", rep, calls.Load())
+	}
+	// No lease debris left behind.
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".lease") {
+			t.Fatalf("lease file %s left behind after clean sweeps", e.Name())
+		}
 	}
 }

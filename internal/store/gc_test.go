@@ -1,0 +1,224 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// putN writes n distinct entries and returns their keys in put order,
+// so their LRU clocks are strictly ascending.
+func putN(t *testing.T, s *Store, n int) []Key {
+	t.Helper()
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = mustKey(t, i, uint64(300+i))
+		if err := s.Put(keys[i], testResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestGCSizeBoundEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putN(t, s, 3)
+	// Touch the oldest entry: the Get hit advances its LRU clock, so
+	// the eviction order becomes k1, k2 — not put order.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("miss on stored key")
+	}
+
+	var blobBytes int64
+	for _, e := range s.Index() {
+		if e.Bytes <= 0 {
+			t.Fatalf("entry %s has no recorded size", e.Digest)
+		}
+		blobBytes = e.Bytes
+	}
+	st, err := s.GC(GCPolicy{MaxBytes: 2 * blobBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 1 || st.Scanned != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction of 3 scanned", st)
+	}
+	if st.BytesBefore != 3*blobBytes || st.BytesAfter != 2*blobBytes {
+		t.Fatalf("byte accounting: %+v", st)
+	}
+	if s.Has(keys[1]) {
+		t.Fatal("LRU blob survived the size bound")
+	}
+	if !s.Has(keys[0]) || !s.Has(keys[2]) {
+		t.Fatal("recently-used blob evicted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+
+	// The tombstones are durable: a fresh handle agrees.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", s2.Len())
+	}
+}
+
+func TestGCAgeBound(t *testing.T) {
+	s := openStore(t)
+	keys := putN(t, s, 2)
+	st, err := s.GC(GCPolicy{MaxAge: time.Minute, Now: time.Now().Add(2 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 2 || st.BytesAfter != 0 {
+		t.Fatalf("stats = %+v, want everything evicted", st)
+	}
+	for _, k := range keys {
+		if s.Has(k) {
+			t.Fatalf("expired blob %s survived", k)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+// TestGCZeroPolicyIsJanitorOnly: with no bounds set, GC drops phantom
+// index entries (blob deleted out from under the index) but never a
+// live blob.
+func TestGCZeroPolicyIsJanitorOnly(t *testing.T) {
+	s := openStore(t)
+	keys := putN(t, s, 2)
+	if err := os.Remove(filepath.Join(s.Dir(), keys[0].blobName())); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(GCPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want exactly the phantom dropped", st)
+	}
+	if s.Len() != 1 || !s.Has(keys[1]) {
+		t.Fatalf("live blob disturbed: Len=%d", s.Len())
+	}
+}
+
+// TestGCSeesPeerWrites: a GC pass must bound the whole directory, not
+// just the entries this handle saw — blobs written by a peer process
+// since this handle opened live only in the journal until GC folds it.
+func TestGCSeesPeerWrites(t *testing.T) {
+	dir := t.TempDir()
+	collector, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putN(t, peer, 3)
+	if collector.Len() != 0 {
+		t.Fatalf("precondition: collector already indexed %d peer entries", collector.Len())
+	}
+
+	st, err := collector.GC(GCPolicy{MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 3 {
+		t.Fatalf("Scanned = %d, want 3 (peer's journaled writes invisible to GC)", st.Scanned)
+	}
+	if st.Evicted != 3 || st.BytesAfter != 0 {
+		t.Fatalf("stats = %+v, want the peer's blobs evicted under the size bound", st)
+	}
+	for _, k := range keys {
+		if collector.Has(k) {
+			t.Fatalf("peer blob %s survived the size bound", k)
+		}
+	}
+}
+
+func TestGCSweepsDebris(t *testing.T) {
+	s := openStore(t)
+	dir := s.Dir()
+
+	// A crash-orphaned staging file, aged past the threshold.
+	stale := filepath.Join(dir, tmpPrefix+"blob.json-123")
+	if err := os.WriteFile(stale, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * staleTmpAge)
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh staging file: could be a live writer, must survive.
+	fresh := filepath.Join(dir, tmpPrefix+"blob.json-456")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An expired lease and a live one.
+	if _, ok, err := s.TryAcquire("dead", "gone", time.Millisecond); err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, ok, err := s.TryAcquire("live", "here", time.Minute); err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+
+	st, err := s.GC(GCPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TmpRemoved != 1 {
+		t.Fatalf("TmpRemoved = %d, want 1", st.TmpRemoved)
+	}
+	if st.LeasesRemoved != 1 {
+		t.Fatalf("LeasesRemoved = %d, want 1", st.LeasesRemoved)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file removed — could have been a live writer")
+	}
+	if _, held := s.LeaseHolder("dead"); held {
+		t.Fatal("expired lease survived")
+	}
+	if owner, held := s.LeaseHolder("live"); !held || owner != "here" {
+		t.Fatal("live lease removed")
+	}
+}
+
+// TestGCFillsLegacyEntries: entries written before sizes/access times
+// existed (or rebuilt from a scan) are backfilled from the blob file
+// rather than treated as phantoms.
+func TestGCFillsLegacyEntries(t *testing.T) {
+	s := openStore(t)
+	keys := putN(t, s, 1)
+	s.mu.Lock()
+	e := s.manifest[keys[0].Digest]
+	e.Bytes = 0
+	e.AccessUnixNs = 0
+	s.manifest[keys[0].Digest] = e
+	s.mu.Unlock()
+
+	st, err := s.GC(GCPolicy{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 0 || !s.Has(keys[0]) {
+		t.Fatalf("legacy entry evicted: %+v", st)
+	}
+	if e := s.Index()[0]; e.Bytes == 0 || e.AccessUnixNs == 0 {
+		t.Fatalf("legacy entry not backfilled: %+v", e)
+	}
+}

@@ -28,10 +28,22 @@
 // atomically renamed into place, so a crash mid-write never leaves a
 // half-written blob under a valid digest name. Reads are corruption
 // tolerant: a blob that fails to parse, carries the wrong schema
-// version, or does not match its digest is treated as a miss (the
-// campaign is recomputed and the blob rewritten), never as an error.
-// The store keeps an index manifest (manifest.json) describing every
-// blob; a missing or corrupt manifest is rebuilt by scanning the blobs.
+// version, or does not match its digest is treated as a miss — the
+// stale blob is deleted and its index entry tombstoned on the spot, and
+// the campaign is recomputed and rewritten — never as an error.
+//
+// # Coordination
+//
+// The store doubles as a coordination substrate for multiple processes
+// sharing one directory. The index is an append-only journal
+// (manifest.log) compacted into a manifest.json snapshot — see
+// journal.go — so concurrent writers interleave records instead of
+// overwriting each other's index. Advisory shard leases
+// (`<digest>.lease`, see lease.go) let cooperating sweeps partition
+// work: claim before computing, wait on a live peer, steal from a dead
+// one. GC (gc.go) bounds the store by size and idle age using the LRU
+// clock that Get maintains. A missing or corrupt index is always
+// recoverable by scanning the blobs.
 package store
 
 import (
@@ -45,6 +57,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"golatest/internal/core"
 	"golatest/internal/hwprofile"
@@ -54,11 +67,17 @@ import (
 // stored* types in codec.go change shape or meaning, or when a campaign
 // code change makes previously-stored results non-reproducible; every
 // blob written under an older version then misses (both through the key
-// digest and the envelope check) and is recomputed.
+// digest and the envelope check) and is recomputed. The manifest journal
+// is index-only metadata — blobs are untouched by it — so its
+// introduction did not bump this.
 const SchemaVersion = 1
 
-// manifestName is the index file; it is not a blob.
+// manifestName is the index snapshot; it is not a blob.
 const manifestName = "manifest.json"
+
+// tmpPrefix marks staging files; the leading dot keeps them out of every
+// blob scan.
+const tmpPrefix = ".tmp-"
 
 // Key is the content address of one campaign result.
 type Key struct {
@@ -112,33 +131,44 @@ type Counters struct {
 	Puts    int64
 }
 
-// ManifestEntry describes one blob in the index manifest.
+// ManifestEntry describes one blob in the index.
 type ManifestEntry struct {
 	Digest   string `json:"digest"`
 	Profile  string `json:"profile"`
 	Instance int    `json:"instance"`
 	Schema   int    `json:"schema"`
+	// Bytes is the blob size, recorded at Put; GC's size bound sums it.
+	Bytes int64 `json:"bytes,omitempty"`
+	// AccessUnixNs is the LRU clock: advanced by Put and by every Get
+	// hit, consulted by GC's age bound and eviction order.
+	AccessUnixNs int64 `json:"access_ns,omitempty"`
 }
 
-// Store is a directory of campaign blobs plus an index manifest. All
+// Store is a directory of campaign blobs plus a journaled index. All
 // methods are safe for concurrent use by multiple goroutines of one
-// process. Cross-process writers are coordinated only by the atomicity
-// of rename: for blobs that is fully benign (two processes computing
-// the same key write identical bytes), and manifest writes merge with
-// the on-disk index first, though a lost update between merge and
-// rename can still transiently undercount until the next write or
-// rebuild — see the ROADMAP open item for real cross-process locking.
+// process, and the on-disk formats are safe for multiple processes
+// sharing the directory: blob writes are atomic renames of identical
+// bytes (same key ⇒ same result), index mutations append to the journal
+// (no lost updates), and compaction is serialized by an advisory lock.
+// Each handle's in-memory index converges with its peers' at every
+// compaction and on reopen.
 type Store struct {
 	dir string
+	// id identifies this handle as a lease owner for internal locks.
+	id string
 
-	mu       sync.Mutex // guards manifest map and manifest file writes
-	manifest map[string]ManifestEntry
+	mu           sync.Mutex // guards manifest map, journal fd, snapshot writes
+	manifest     map[string]ManifestEntry
+	journal      *os.File // live manifest.log, opened O_APPEND on first use
+	journalBytes int64    // live log size, drives threshold compaction
 
 	hits, misses, corrupt, puts atomic.Int64
 }
 
-// Open creates the directory if needed and loads (or rebuilds) the
-// manifest.
+// Open creates the directory if needed and loads the index: snapshot
+// plus journal replay, rebuilding from the blobs when the index is
+// missing or corrupt, then compacts any outstanding journal so this
+// handle starts from a clean snapshot.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -146,12 +176,26 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, manifest: make(map[string]ManifestEntry)}
-	if err := s.loadManifest(); err != nil {
-		// Corrupt or missing manifest: rebuild from the blobs on disk.
-		if err := s.rebuildManifest(); err != nil {
+	s := &Store{dir: dir, id: newHandleID(), manifest: make(map[string]ManifestEntry)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	absent, snapErr := s.loadSnapshotLocked()
+	replayed := replayJournal(filepath.Join(dir, journalOldName), s.manifest)
+	replayed += replayJournal(filepath.Join(dir, journalName), s.manifest)
+	switch {
+	case snapErr != nil,
+		absent && replayed == 0 && s.countBlobs() > 0:
+		// Corrupt snapshot, or blobs with no index at all: the blobs are
+		// the ground truth; scan them and discard the stale journal.
+		if err := s.rebuildManifestLocked(); err != nil {
 			return nil, err
 		}
+	case replayed > 0:
+		// Fold the journal into the snapshot so the next Open replays
+		// nothing. Best-effort: a peer holding the compaction lock just
+		// means they are folding the same records.
+		_ = s.compactLocked()
 	}
 	return s, nil
 }
@@ -179,8 +223,10 @@ func (s *Store) Has(k Key) bool {
 
 // Get returns the stored campaign for the key, or (nil, false) on any
 // kind of miss: no blob, unparseable blob, schema mismatch, or digest
-// mismatch. Invalid blobs are never fatal — the contract is that the
-// caller recomputes and Puts, overwriting the bad blob.
+// mismatch. Invalid blobs are never fatal — the stale blob is deleted
+// and its index entry tombstoned immediately (so Index and Len never
+// report a key that cannot be read), and the caller recomputes and
+// Puts. A hit advances the entry's LRU clock for GC.
 func (s *Store) Get(k Key) (*core.Result, bool) {
 	data, err := os.ReadFile(filepath.Join(s.dir, k.blobName()))
 	if err != nil {
@@ -191,15 +237,53 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 	if err != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
+		s.healCorrupt(k)
 		return nil, false
 	}
 	s.hits.Add(1)
+	s.touch(k, int64(len(data)))
 	return res, true
+}
+
+// healCorrupt removes an unreadable blob and tombstones its index entry,
+// so the corruption is visible for exactly one Get: the next Put writes
+// a fresh blob and a fresh entry. (If a concurrent writer renamed a good
+// blob into place between our failed read and this remove, that blob is
+// lost and recomputed — determinism makes the recompute identical.)
+func (s *Store) healCorrupt(k Key) {
+	os.Remove(filepath.Join(s.dir, k.blobName()))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.manifest, k.Digest)
+	_ = s.appendJournalLocked(journalRecord{Op: opDel, Digest: k.Digest})
+}
+
+// touch advances the key's LRU clock, indexing the blob on the fly if
+// this handle had no entry for it (e.g. a peer's write this handle has
+// not folded yet).
+func (s *Store) touch(k Key, size int64) {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.manifest[k.Digest]
+	if !ok {
+		e = ManifestEntry{Digest: k.Digest, Profile: k.Profile, Instance: k.Instance, Schema: SchemaVersion}
+	}
+	e.Bytes = size
+	e.AccessUnixNs = now
+	s.manifest[k.Digest] = e
+	rec := journalRecord{Op: opTouch, Digest: k.Digest, AccessUnixNs: now}
+	if !ok {
+		rec = journalRecord{Op: opPut, Entry: &e}
+	}
+	_ = s.appendJournalLocked(rec)
+	s.maybeCompactLocked()
 }
 
 // Put stores the campaign under the key, atomically: the blob is staged
 // in a temporary file and renamed into place, so concurrent readers see
-// either the old blob or the new one, never a torn write.
+// either the old blob or the new one, never a torn write. The index
+// update is one O(1) journal append regardless of store size.
 func (s *Store) Put(k Key, res *core.Result) error {
 	if res == nil {
 		return fmt.Errorf("store: nil result for %s", k)
@@ -215,13 +299,20 @@ func (s *Store) Put(k Key, res *core.Result) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.manifest[k.Digest] = ManifestEntry{
-		Digest:   k.Digest,
-		Profile:  k.Profile,
-		Instance: k.Instance,
-		Schema:   SchemaVersion,
+	e := ManifestEntry{
+		Digest:       k.Digest,
+		Profile:      k.Profile,
+		Instance:     k.Instance,
+		Schema:       SchemaVersion,
+		Bytes:        int64(len(data)),
+		AccessUnixNs: time.Now().UnixNano(),
 	}
-	return s.writeManifestLocked()
+	s.manifest[k.Digest] = e
+	if err := s.appendJournalLocked(journalRecord{Op: opPut, Entry: &e}); err != nil {
+		return err
+	}
+	s.maybeCompactLocked()
+	return nil
 }
 
 // Index returns the manifest entries sorted by (profile, instance,
@@ -252,23 +343,42 @@ func (s *Store) Len() int {
 	return len(s.manifest)
 }
 
+// Test hooks: the writeAtomic failure paths (full disk, unwritable
+// directory) are injected here because they are otherwise unreachable in
+// a tempdir test.
+var (
+	stageWrite = func(f *os.File, data []byte) (int, error) { return f.Write(data) }
+	commitFile = os.Rename
+)
+
 // writeAtomic stages data in a temp file in the store directory (same
 // filesystem, so the rename is atomic) and renames it over name.
 func (s *Store) writeAtomic(name string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	return atomicWrite(filepath.Join(s.dir, name), data)
+}
+
+// atomicWrite stages data next to dst and renames it into place. Every
+// failure path removes the staging file: a failed write must not litter
+// the directory with orphans. Shared by blob/snapshot writes and lease
+// renewal.
+func atomicWrite(dst string, data []byte) error {
+	dir, base := filepath.Split(dst)
+	tmp, err := os.CreateTemp(dir, tmpPrefix+base+"-*")
 	if err != nil {
-		return fmt.Errorf("store: stage %s: %w", name, err)
+		return fmt.Errorf("store: stage %s: %w", base, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := stageWrite(tmp, data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: stage %s: %w", name, err)
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: stage %s: %w", base, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: stage %s: %w", name, err)
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: stage %s: %w", base, err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
-		return fmt.Errorf("store: commit %s: %w", name, err)
+	if err := commitFile(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: commit %s: %w", base, err)
 	}
 	return nil
 }
@@ -278,35 +388,37 @@ type manifestFile struct {
 	Entries []ManifestEntry `json:"entries"`
 }
 
-func (s *Store) loadManifest() error {
+// loadSnapshotLocked reads manifest.json into the index. absent reports
+// a cleanly missing snapshot (not an error: the journal or an empty
+// store may carry the state); err reports an unreadable or alien
+// snapshot, which callers resolve by rebuilding from the blobs.
+func (s *Store) loadSnapshotLocked() (absent bool, err error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
 	if err != nil {
 		if os.IsNotExist(err) {
-			// An empty store is a valid store; only rebuild when blobs
-			// exist without an index.
-			if s.countBlobs() == 0 {
-				return nil
-			}
+			return true, nil
 		}
-		return fmt.Errorf("store: manifest: %w", err)
+		return false, fmt.Errorf("store: manifest: %w", err)
 	}
 	var m manifestFile
 	if err := json.Unmarshal(data, &m); err != nil {
-		return fmt.Errorf("store: manifest: %w", err)
+		return false, fmt.Errorf("store: manifest: %w", err)
 	}
 	if m.Schema != SchemaVersion {
-		return fmt.Errorf("store: manifest schema %d, want %d", m.Schema, SchemaVersion)
+		return false, fmt.Errorf("store: manifest schema %d, want %d", m.Schema, SchemaVersion)
 	}
 	for _, e := range m.Entries {
 		s.manifest[e.Digest] = e
 	}
-	return nil
+	return false, nil
 }
 
-// rebuildManifest recreates the index by reading every blob envelope in
-// the directory. Blobs that do not parse are skipped (they will miss and
-// be rewritten on their next Get/Put cycle).
-func (s *Store) rebuildManifest() error {
+// rebuildManifestLocked recreates the index by reading every blob
+// envelope in the directory — the blobs are the ground truth the index
+// merely accelerates. Blobs that do not parse are skipped (they will
+// miss and be rewritten on their next Get/Put cycle). The journal is
+// discarded: whatever it said is superseded by the scan.
+func (s *Store) rebuildManifestLocked() error {
 	s.manifest = make(map[string]ManifestEntry)
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -327,16 +439,26 @@ func (s *Store) rebuildManifest() error {
 			b.Digest+".json" != name {
 			continue
 		}
-		s.manifest[b.Digest] = ManifestEntry{
+		e := ManifestEntry{
 			Digest:   b.Digest,
 			Profile:  b.Profile,
 			Instance: b.Instance,
 			Schema:   b.Schema,
+			Bytes:    int64(len(data)),
 		}
+		if fi, err := de.Info(); err == nil {
+			e.AccessUnixNs = fi.ModTime().UnixNano()
+		}
+		s.manifest[b.Digest] = e
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.writeManifestLocked()
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	s.journalBytes = 0
+	os.Remove(filepath.Join(s.dir, journalName))
+	os.Remove(filepath.Join(s.dir, journalOldName))
+	return s.writeSnapshotLocked()
 }
 
 func (s *Store) countBlobs() int {
@@ -353,34 +475,4 @@ func (s *Store) countBlobs() int {
 		}
 	}
 	return n
-}
-
-func (s *Store) writeManifestLocked() error {
-	// Merge with whatever is on disk first: another process sharing the
-	// directory may have indexed blobs this process never saw, and a
-	// plain rewrite from local state would drop them. (Blob contents
-	// are immune to this race — same key ⇒ identical bytes — the
-	// manifest is the one mutable aggregate; see the ROADMAP locking
-	// open item for the remaining lost-update window between this read
-	// and the rename.)
-	if data, err := os.ReadFile(filepath.Join(s.dir, manifestName)); err == nil {
-		var disk manifestFile
-		if json.Unmarshal(data, &disk) == nil && disk.Schema == SchemaVersion {
-			for _, e := range disk.Entries {
-				if _, ok := s.manifest[e.Digest]; !ok {
-					s.manifest[e.Digest] = e
-				}
-			}
-		}
-	}
-	m := manifestFile{Schema: SchemaVersion}
-	for _, e := range s.manifest {
-		m.Entries = append(m.Entries, e)
-	}
-	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Digest < m.Entries[j].Digest })
-	data, err := json.MarshalIndent(m, "", " ")
-	if err != nil {
-		return fmt.Errorf("store: manifest: %w", err)
-	}
-	return s.writeAtomic(manifestName, data)
 }

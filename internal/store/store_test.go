@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -337,6 +338,117 @@ func TestManifestMergesAcrossWriters(t *testing.T) {
 	}
 	if reopened.Len() != 2 {
 		t.Fatalf("manifest lost an entry across writers: Len = %d, want 2", reopened.Len())
+	}
+}
+
+// TestCorruptBlobHealsIndexImmediately: a Get that finds a corrupt blob
+// must delete the blob and tombstone its index entry on the spot — not
+// leave a key that Index/Len report but Get cannot read until the next
+// recompute happens to overwrite it.
+func TestCorruptBlobHealsIndexImmediately(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(dir, k.blobName())
+	if err := os.WriteFile(blob, []byte("bitrot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt blob hit")
+	}
+	if _, err := os.Stat(blob); !os.IsNotExist(err) {
+		t.Fatal("stale corrupt blob left on disk")
+	}
+	if s.Len() != 0 || len(s.Index()) != 0 {
+		t.Fatalf("index still reports the unreadable key: Len=%d", s.Len())
+	}
+	// The tombstone is journaled: a fresh handle agrees.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("reopened Len = %d, want 0", s2.Len())
+	}
+	// And the usual heal-by-recompute contract still holds.
+	if err := s.Put(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("healed blob missed")
+	}
+}
+
+// TestWriteAtomicCleansUpOnFailure: a failed Put (stage-write or rename)
+// must not leak staging files into the store directory.
+func TestWriteAtomicCleansUpOnFailure(t *testing.T) {
+	countTmp := func(dir string) int {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), tmpPrefix) {
+				n++
+			}
+		}
+		return n
+	}
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stageWrite = func(*os.File, []byte) (int, error) { return 0, fmt.Errorf("disk full") }
+	err = s.Put(k, testResult())
+	stageWrite = func(f *os.File, data []byte) (int, error) { return f.Write(data) }
+	if err == nil {
+		t.Fatal("Put succeeded with a failing stage write")
+	}
+	if n := countTmp(dir); n != 0 {
+		t.Fatalf("failed stage write leaked %d temp files", n)
+	}
+
+	commitFile = func(string, string) error { return fmt.Errorf("rename denied") }
+	err = s.Put(k, testResult())
+	commitFile = os.Rename
+	if err == nil {
+		t.Fatal("Put succeeded with a failing rename")
+	}
+	if n := countTmp(dir); n != 0 {
+		t.Fatalf("failed rename leaked %d temp files", n)
+	}
+	if s.Has(k) || s.Len() != 0 {
+		t.Fatal("failed Put left blob or index entry behind")
+	}
+	if c := s.Counters(); c.Puts != 0 {
+		t.Fatalf("failed Puts counted as successes: %+v", c)
+	}
+
+	// With the hooks restored the same Put goes through cleanly.
+	if err := s.Put(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("recovered Put missed")
 	}
 }
 

@@ -18,6 +18,12 @@ out="${1:-BENCH_campaign.json}"
 
 raw=$(go test -run '^$' -bench 'BenchmarkCampaignSweep|BenchmarkPhase1Warmup|BenchmarkSuiteCampaign' \
 	-benchtime 1x -benchmem .)
+# The store index benchmarks compare a journal-backed Put (O(1) appends)
+# against the pre-journal whole-manifest rewrite (O(entries) per Put);
+# a handful of iterations keeps the ratio out of filesystem noise while
+# still completing in well under a second.
+raw="$raw
+$(go test -run '^$' -bench 'BenchmarkStorePut' -benchtime 20x -benchmem ./internal/store)"
 printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v cores="$(nproc 2>/dev/null || echo 1)" '
@@ -52,6 +58,12 @@ END {
 	warm = ns["BenchmarkSuiteCampaignWarm"]
 	if (cold > 0 && warm > 0)
 		printf ",\n  \"store_warm_speedup\": %.2f", cold / warm
+	# Journal vs whole-manifest-rewrite Put cost at 1k store entries:
+	# how much the append-only manifest log saves per write.
+	rewrite = ns["BenchmarkStorePutRewrite/entries=1024"]
+	journal = ns["BenchmarkStorePut/entries=1024"]
+	if (rewrite > 0 && journal > 0)
+		printf ",\n  \"manifest_put_speedup\": %.2f", rewrite / journal
 	printf "\n}\n"
 }' >"$out"
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# ci.sh — the full tier-1 gate in one command:
+#
+#   ./scripts/ci.sh
+#
+# vet + build + tests, a race-detector pass over the concurrency-heavy
+# coordination packages (the store's journal/lease/GC machinery and the
+# fleet's cross-process claim loop), and the benchmark smoke that records
+# the performance trajectory in BENCH_campaign.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (store, fleet) =="
+go test -race ./internal/store/... ./internal/fleet/...
+
+echo "== bench smoke =="
+./scripts/bench_smoke.sh
+
+echo "ci: all green"
