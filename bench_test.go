@@ -7,11 +7,13 @@ package golatest
 
 import (
 	"math"
+	"net/http/httptest"
 	"testing"
 
 	"golatest/internal/core"
 	"golatest/internal/experiments"
 	"golatest/internal/store"
+	"golatest/internal/storenet"
 )
 
 // benchSuite is shared across benchmarks: campaigns cache within one
@@ -153,6 +155,46 @@ func BenchmarkSuiteCampaignWarm(b *testing.B) {
 	}
 	if c := st.Counters(); c.Misses > 1 || c.Puts > 1 {
 		b.Fatalf("warm benchmark recomputed: %+v", c)
+	}
+}
+
+// BenchmarkSuiteCampaignRemoteWarm measures the same campaign served
+// over the network: a stored daemon on a loopback listener fronts the
+// prewarmed store, and each iteration's fresh suite uses a cache-less
+// storenet.Client, so every access is a real HTTP round trip plus blob
+// decode — the cost a remote warm Get adds over a local one, and what
+// cross-host fleets pay when their local tier is cold. Paired with
+// BenchmarkSuiteCampaignCold it yields remote_warm_speedup in
+// bench_smoke.sh.
+func BenchmarkSuiteCampaignRemoteWarm(b *testing.B) {
+	backing, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := experiments.Options{Scale: experiments.ScaleQuick, Seed: 7, Store: backing}
+	if _, err := experiments.NewSuite(warm).CampaignByKey("a100"); err != nil {
+		b.Fatal(err) // prewarm the daemon's store
+	}
+	srv := httptest.NewServer(storenet.NewServer(backing))
+	defer srv.Close()
+	client, err := storenet.NewClient(srv.URL, storenet.ClientOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Scale: experiments.ScaleQuick, Seed: 7, Store: client}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.NewSuite(opts).CampaignByKey("a100")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pairs) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+	if c := client.Counters(); c.Misses > 0 || c.Puts > 0 || c.Corrupt > 0 {
+		b.Fatalf("remote warm benchmark recomputed: %+v", c)
 	}
 }
 

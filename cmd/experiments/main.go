@@ -7,9 +7,10 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only <id>] [-out results/]
-//	            [-cache-dir DIR] [-no-cache] [-fleet N] [-parallel N]
-//	            [-lease-ttl D] [-owner ID]
+//	            [-cache-dir DIR] [-store-url URL] [-no-cache]
+//	            [-fleet N] [-parallel N] [-lease-ttl D] [-owner ID]
 //	            [-gc] [-max-store-bytes N] [-max-store-age D]
+//	            [-gc-watermark-bytes N]
 //
 // Artefact ids: table1 table2 fig1 fig2 fig3a fig3b fig3c fig3d fig4
 // fig5 fig6 fig7 fig8 fig9 clusters cidegen cpuvsgpu (default: all).
@@ -20,14 +21,25 @@
 // artefacts, and after a config change or an interrupt only the missing
 // campaigns run. -no-cache ignores the directory for one run.
 //
+// With -store-url, the store is a stored daemon instead of (or in front
+// of) a local directory: campaigns read from and write to the daemon
+// over HTTP (see internal/storenet), so runs on different hosts share
+// one store. Combining -store-url with -cache-dir adds a local
+// write-through tier: local hits skip the network, remote hits heal the
+// local copy.
+//
 // With -lease-ttl, multi-unit sweeps additionally claim each campaign
 // through an advisory store lease before computing it, so several
-// processes pointed at the same -cache-dir partition a sweep instead of
-// duplicating it (each still finishes with every result). -gc bounds the
-// store after the run: -max-store-bytes evicts least-recently-used blobs
-// past the size cap, -max-store-age evicts blobs idle longer than the
-// bound, and crash debris (orphaned temp files, expired leases) is swept
-// either way.
+// processes pointed at the same -cache-dir — or several hosts pointed
+// at the same -store-url — partition a sweep instead of duplicating it
+// (each still finishes with every result). -gc bounds the store after
+// the run: -max-store-bytes evicts least-recently-used blobs past the
+// size cap, -max-store-age evicts blobs idle longer than the bound, and
+// crash debris (orphaned temp files, expired leases) is swept either
+// way; with -store-url the pass runs on the daemon's store.
+// -gc-watermark-bytes instead bounds the store automatically: after any
+// sweep that leaves it over the watermark, least-recently-used blobs
+// are evicted back under it without operator action.
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"golatest/internal/experiments"
 	"golatest/internal/report"
 	"golatest/internal/store"
+	"golatest/internal/storenet"
 )
 
 func main() {
@@ -88,13 +101,15 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 2025, "campaign seed")
 		parallel  = fs.Int("parallel", 0, "concurrent pair campaigns per sweep (0 = one per CPU, 1 = serial; results are identical at every setting)")
 		cacheDir  = fs.String("cache-dir", "", "persist campaign results as content-addressed blobs in this directory; warm re-runs recompute nothing")
-		noCache   = fs.Bool("no-cache", false, "ignore -cache-dir for this run: neither read nor write the store")
+		storeURL  = fs.String("store-url", "", "use a stored daemon at this base URL (e.g. http://host:8417) as the campaign store; with -cache-dir the directory becomes a local write-through tier")
+		noCache   = fs.Bool("no-cache", false, "ignore -cache-dir and -store-url for this run: neither read nor write any store")
 		fleetN    = fs.Int("fleet", 0, "concurrent whole campaigns in multi-unit sweeps (0 = one per CPU; results are identical at every setting)")
 		leaseTTL  = fs.Duration("lease-ttl", 0, "claim sweep shards via store leases so concurrent processes sharing -cache-dir partition the work; the TTL should exceed one campaign's runtime (0 = off)")
 		owner     = fs.String("owner", "", "lease owner id for -lease-ttl (default: derived from host and pid)")
 		gc        = fs.Bool("gc", false, "after the run, garbage-collect the store per -max-store-bytes/-max-store-age and sweep crash debris")
 		maxBytes  = fs.Int64("max-store-bytes", 0, "with -gc: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
 		maxAge    = fs.Duration("max-store-age", 0, "with -gc: evict blobs not accessed for longer than this (0 = no age bound)")
+		watermark = fs.Int64("gc-watermark-bytes", 0, "run a size-bounded GC pass automatically after any sweep that leaves the store over this many bytes (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,38 +133,54 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	var st *store.Store
+	// The backend is (in order of preference) a stored daemon with an
+	// optional local write-through tier, a local store directory, or
+	// nothing. A nil backend must stay a true nil interface — a typed
+	// nil would defeat every Store != nil check downstream.
+	var backend store.Backend
+	var localStore *store.Store
 	if *cacheDir != "" && !*noCache {
 		var err error
-		if st, err = store.Open(*cacheDir); err != nil {
+		if localStore, err = store.Open(*cacheDir); err != nil {
 			return err
 		}
+		backend = localStore
+	}
+	if *storeURL != "" && !*noCache {
+		client, err := storenet.NewClient(*storeURL, storenet.ClientOptions{Cache: localStore})
+		if err != nil {
+			return err
+		}
+		backend = client
 	}
 
-	if st == nil {
+	if backend == nil {
 		needsStore := ""
 		switch {
 		case *leaseTTL > 0:
 			needsStore = "-lease-ttl"
 		case *gc:
 			needsStore = "-gc"
+		case *watermark > 0:
+			needsStore = "-gc-watermark-bytes"
 		}
 		if needsStore != "" {
-			if *noCache && *cacheDir != "" {
+			if *noCache && (*cacheDir != "" || *storeURL != "") {
 				return fmt.Errorf("%s conflicts with -no-cache (the run would not open the store)", needsStore)
 			}
-			return fmt.Errorf("%s requires -cache-dir (leases and GC live in the store directory)", needsStore)
+			return fmt.Errorf("%s requires -cache-dir or -store-url (leases and GC live in the store)", needsStore)
 		}
 	}
 
 	suite := experiments.NewSuite(experiments.Options{
-		Scale:         scale,
-		Seed:          *seed,
-		Parallelism:   *parallel,
-		Store:         st,
-		FleetReplicas: *fleetN,
-		LeaseTTL:      *leaseTTL,
-		LeaseOwner:    *owner,
+		Scale:            scale,
+		Seed:             *seed,
+		Parallelism:      *parallel,
+		Store:            backend,
+		FleetReplicas:    *fleetN,
+		LeaseTTL:         *leaseTTL,
+		LeaseOwner:       *owner,
+		GCWatermarkBytes: *watermark,
 	})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {
@@ -161,17 +192,17 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "[%-8s] %-40s %8.2fs\n", g.id, g.doc, time.Since(start).Seconds())
 	}
-	if st != nil {
-		c := st.Counters()
+	if backend != nil {
+		c := backend.Counters()
 		fmt.Fprintf(out, "cache %s: %d hits, %d misses, %d writes, %d blobs\n",
-			st.Dir(), c.Hits, c.Misses, c.Puts, st.Len())
+			backend.Location(), c.Hits, c.Misses, c.Puts, backend.Len())
 		if *leaseTTL > 0 {
 			ct := suite.Contention()
 			fmt.Fprintf(out, "leases: %d claimed, %d waited, %d stolen\n",
 				ct.Claimed, ct.Waited, ct.Stolen)
 		}
 		if *gc {
-			gs, err := st.GC(store.GCPolicy{MaxBytes: *maxBytes, MaxAge: *maxAge})
+			gs, err := backend.GC(store.GCPolicy{MaxBytes: *maxBytes, MaxAge: *maxAge})
 			if err != nil {
 				return fmt.Errorf("gc: %w", err)
 			}

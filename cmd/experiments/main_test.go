@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -10,6 +11,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"golatest/internal/store"
+	"golatest/internal/storenet"
 )
 
 func TestRunSelectedArtefacts(t *testing.T) {
@@ -183,6 +187,131 @@ func TestCrossProcessSweepPartition(t *testing.T) {
 		}
 		if !bytes.Equal(want, got) {
 			t.Fatalf("%s differs between the two processes", name)
+		}
+	}
+}
+
+// TestCrossHostSweepPartition is the acceptance contract of the network
+// store: two "processes" with separate local cache directories,
+// coordinated only through a running stored daemon (here: the storenet
+// server on a loopback listener), sweep the same fleet artefact and
+// between them compute each shard exactly once — the combined write
+// count equals the shard count — while both emit byte-identical
+// artefacts.
+func TestCrossHostSweepPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four-unit A100 sweep")
+	}
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storenet.NewServer(backing))
+	defer srv.Close()
+
+	// fig7 is the §VII-C four-unit A100 sweep: 4 shards.
+	const shards = 4
+	base := []string{"-scale", "quick", "-only", "fig7", "-store-url", srv.URL, "-lease-ttl", "1m"}
+
+	type proc struct {
+		out bytes.Buffer
+		dir string
+		err error
+	}
+	procs := [2]*proc{{dir: t.TempDir()}, {dir: t.TempDir()}}
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		args := append(append([]string{}, base...),
+			"-cache-dir", t.TempDir(), // per-host local tier: nothing shared on disk
+			"-owner", fmt.Sprintf("host-%d", i), "-out", p.dir)
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			p.err = run(args, &p.out)
+		}(p)
+	}
+	wg.Wait()
+
+	writesRe := regexp.MustCompile(`(\d+) writes`)
+	total := 0
+	for i, p := range procs {
+		if p.err != nil {
+			t.Fatalf("host %d: %v\n%s", i, p.err, p.out.String())
+		}
+		m := writesRe.FindStringSubmatch(p.out.String())
+		if m == nil {
+			t.Fatalf("host %d reported no cache stats:\n%s", i, p.out.String())
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if !strings.Contains(p.out.String(), "cache "+srv.URL) {
+			t.Fatalf("host %d stats do not name the daemon:\n%s", i, p.out.String())
+		}
+	}
+	if total != shards {
+		t.Fatalf("combined writes = %d, want exactly %d (shards duplicated or lost across hosts)",
+			total, shards)
+	}
+	if backing.Len() != shards {
+		t.Fatalf("daemon indexes %d blobs, want %d", backing.Len(), shards)
+	}
+
+	a, b := readArtefacts(t, procs[0].dir), readArtefacts(t, procs[1].dir)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("artefact sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, want := range a {
+		got, ok := b[name]
+		if !ok {
+			t.Fatalf("second host missing %s", name)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs between the two hosts", name)
+		}
+	}
+}
+
+// TestStoreURLFlag: an unusable daemon URL fails fast, and the
+// watermark flag demands a store like the other coordination flags.
+func TestStoreURLFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-store-url", "not-a-url", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("bogus -store-url accepted")
+	}
+	if err := run([]string{"-gc-watermark-bytes", "1", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("-gc-watermark-bytes without a store accepted")
+	}
+	// -no-cache disables a remote store too: the run must not touch the
+	// daemon, so coordination flags conflict.
+	err := run([]string{"-lease-ttl", "1m", "-store-url", "http://127.0.0.1:1",
+		"-no-cache", "-out", t.TempDir()}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-no-cache") {
+		t.Errorf("-lease-ttl with -no-cache'd -store-url: err=%v, want a -no-cache conflict", err)
+	}
+}
+
+// TestGCWatermarkFlag: a sweep that leaves the store over the watermark
+// triggers an automatic size-bounded GC pass — no -gc needed.
+func TestGCWatermarkFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four-unit A100 sweep")
+	}
+	cache := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-only", "fig7", "-cache-dir", cache,
+		"-lease-ttl", "1m", "-gc-watermark-bytes", "1", "-out", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "manifest.json" && strings.HasSuffix(e.Name(), ".json") {
+			t.Fatalf("blob %s survived the 1-byte watermark", e.Name())
 		}
 	}
 }

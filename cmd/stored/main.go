@@ -1,0 +1,166 @@
+// Command stored serves a campaign store directory over HTTP, so fleets
+// spanning hosts share one content-addressed store: blobs, the
+// compare-and-swap lease protocol, the index, and GC all travel the
+// small versioned API in internal/storenet. Point clients at it with
+// `experiments -store-url http://host:8417` (optionally adding a local
+// `-cache-dir` write-through tier per host).
+//
+// Usage:
+//
+//	stored -dir DIR [-addr HOST:PORT]
+//	       [-gc-every D] [-gc-watermark-bytes N] [-max-store-age D]
+//
+// The directory is an ordinary internal/store directory: local
+// processes may keep sharing it by path while remote clients go through
+// the daemon — both coordinate through the same journal and lease files.
+// With -gc-every, the daemon garbage-collects its store in the
+// background: every period it evicts least-recently-used blobs past
+// -gc-watermark-bytes and blobs idle longer than -max-store-age, and
+// sweeps crash debris (orphaned staging files, expired leases).
+//
+// The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight
+// requests first. State lives entirely in the store directory, so a
+// restarted daemon resumes where the last one stopped — even leases
+// granted by the previous incarnation renew correctly (the lease token
+// is verified against the on-disk file, not an in-memory table).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"golatest/internal/store"
+	"golatest/internal/storenet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	d, err := newDaemon(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stored:", err)
+		os.Exit(2)
+	}
+	if err := d.serve(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "stored:", err)
+		os.Exit(1)
+	}
+}
+
+// daemon is one configured stored instance; split from main so tests
+// drive it against a loopback listener and a cancellable context.
+type daemon struct {
+	st      *store.Store
+	ln      net.Listener
+	gcEvery time.Duration
+	policy  store.GCPolicy
+
+	mu  sync.Mutex // serializes log lines (the GC loop runs concurrently)
+	out io.Writer
+}
+
+// newDaemon parses flags, opens the store, and binds the listener —
+// everything that can fail fast does so here, before main commits to
+// serving.
+func newDaemon(args []string, out io.Writer) (*daemon, error) {
+	fs := flag.NewFlagSet("stored", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		dir       = fs.String("dir", "", "store directory to serve (required; created if missing)")
+		addr      = fs.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port; the chosen address is printed)")
+		gcEvery   = fs.Duration("gc-every", 0, "period of the background GC pass over the served store (0 = no background GC)")
+		watermark = fs.Int64("gc-watermark-bytes", 0, "with -gc-every: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
+		maxAge    = fs.Duration("max-store-age", 0, "with -gc-every: evict blobs not accessed for longer than this (0 = no age bound)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *dir == "" {
+		return nil, fmt.Errorf("-dir is required")
+	}
+	if (*watermark > 0 || *maxAge > 0) && *gcEvery <= 0 {
+		return nil, fmt.Errorf("-gc-watermark-bytes/-max-store-age need -gc-every to schedule the pass")
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{
+		st:      st,
+		ln:      ln,
+		gcEvery: *gcEvery,
+		policy:  store.GCPolicy{MaxBytes: *watermark, MaxAge: *maxAge},
+		out:     out,
+	}, nil
+}
+
+// URL returns the served base URL — what clients pass as -store-url.
+func (d *daemon) URL() string { return "http://" + d.ln.Addr().String() }
+
+func (d *daemon) logf(format string, args ...any) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fmt.Fprintf(d.out, format, args...)
+}
+
+// serve runs the daemon until the context is cancelled, then drains
+// in-flight requests and returns nil.
+func (d *daemon) serve(ctx context.Context) error {
+	srv := &http.Server{Handler: storenet.NewServer(d.st)}
+	d.logf("stored: serving %s at %s (api v%d, %d blobs)\n",
+		d.st.Dir(), d.URL(), storenet.APIVersion, d.st.Len())
+	if d.gcEvery > 0 {
+		go d.gcLoop(ctx)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(d.ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		d.logf("stored: shut down\n")
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// gcLoop applies the daemon's GC policy on a timer. Every pass at least
+// sweeps crash debris; the size/age bounds evict per the policy. Only
+// passes that did something are logged.
+func (d *daemon) gcLoop(ctx context.Context) {
+	t := time.NewTicker(d.gcEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			gs, err := d.st.GC(d.policy)
+			if err != nil {
+				d.logf("stored: gc: %v\n", err)
+				continue
+			}
+			if gs.Evicted > 0 || gs.TmpRemoved > 0 || gs.LeasesRemoved > 0 {
+				d.logf("stored: gc: evicted %d of %d blobs, %d -> %d bytes, swept %d tmp + %d leases\n",
+					gs.Evicted, gs.Scanned, gs.BytesBefore, gs.BytesAfter,
+					gs.TmpRemoved, gs.LeasesRemoved)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"golatest/internal/core"
+	"golatest/internal/store"
+	"golatest/internal/storenet"
+)
+
+// syncBuffer lets the daemon's concurrent log writes race-safely meet
+// the test's assertions.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func startDaemon(t *testing.T, args ...string) (*daemon, *syncBuffer, func()) {
+	t.Helper()
+	out := &syncBuffer{}
+	d, err := newDaemon(args, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.serve(ctx) }()
+	stop := func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	}
+	return d, out, stop
+}
+
+// TestDaemonServesStore: end to end through the real binary wiring — a
+// storenet.Client round-trips a campaign through a stored instance on
+// an ephemeral loopback port.
+func TestDaemonServesStore(t *testing.T) {
+	dir := t.TempDir()
+	d, out, stop := startDaemon(t, "-dir", dir, "-addr", "127.0.0.1:0")
+
+	c, err := storenet.NewClient(d.URL(), storenet.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := store.KeyFor("a100", 0, 42, core.Config{Frequencies: []float64{705, 1410}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := c.Get(k)
+	if !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("round trip: %+v ok=%v", res, ok)
+	}
+
+	// The daemon's stats endpoint agrees with its directory.
+	resp, err := http.Get(d.URL() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Blobs int `json:"blobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil || stats.Blobs != 1 {
+		t.Fatalf("stats = %+v err=%v", stats, err)
+	}
+
+	stop() // graceful shutdown must drain and report cleanly
+	if !strings.Contains(out.String(), "stored: serving "+dir) ||
+		!strings.Contains(out.String(), "stored: shut down") {
+		t.Fatalf("daemon log:\n%s", out.String())
+	}
+
+	// The state survived: a fresh local handle over the directory reads
+	// what the daemon stored.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(k); !ok {
+		t.Fatal("blob did not survive the daemon")
+	}
+}
+
+// TestDaemonBackgroundGC: with -gc-every and a tiny watermark, the
+// daemon evicts stored blobs on its own.
+func TestDaemonBackgroundGC(t *testing.T) {
+	dir := t.TempDir()
+	d, _, stop := startDaemon(t, "-dir", dir, "-addr", "127.0.0.1:0",
+		"-gc-every", "10ms", "-gc-watermark-bytes", "1")
+	defer stop()
+
+	c, err := storenet.NewClient(d.URL(), storenet.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := store.KeyFor("a100", 0, 42, core.Config{Frequencies: []float64{705}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for d.st.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background GC never evicted past the watermark")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := newDaemon([]string{}, &out); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if _, err := newDaemon([]string{"-dir", t.TempDir(), "-gc-watermark-bytes", "1"}, &out); err == nil {
+		t.Error("-gc-watermark-bytes without -gc-every accepted")
+	}
+	if _, err := newDaemon([]string{"-dir", t.TempDir(), "-addr", "not:an:addr"}, &out); err == nil {
+		t.Error("bogus -addr accepted")
+	}
+}

@@ -65,8 +65,10 @@ type Options struct {
 	// content-addressed blobs: Campaign consults it before computing and
 	// writes through after, so a warm re-run with unchanged inputs
 	// recomputes nothing. Campaigns are deterministic, so a stored result
-	// is indistinguishable from a fresh one.
-	Store *store.Store
+	// is indistinguishable from a fresh one. Any store.Backend works —
+	// a local *store.Store directory, or a storenet.Client speaking to a
+	// stored daemon so suites on different hosts share one store.
+	Store store.Backend
 	// FleetReplicas bounds how many whole campaigns the multi-unit
 	// studies (A100Instances, Prewarm) run concurrently. Zero means one
 	// per CPU. Results are identical at every setting.
@@ -81,6 +83,11 @@ type Options struct {
 	// LeaseOwner identifies this process in lease files; empty derives a
 	// host/pid id. Results never depend on it.
 	LeaseOwner string
+	// GCWatermarkBytes, when positive (requires Store), bounds the store
+	// without operator action: after every fleet sweep whose indexed
+	// blobs exceed the watermark, one GC pass evicts least-recently-used
+	// blobs back under it. Zero leaves GC manual.
+	GCWatermarkBytes int64
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
@@ -307,6 +314,7 @@ func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
 		fo.Config = s.campaignConfig
 		fo.LeaseTTL = s.opts.LeaseTTL
 		fo.Owner = s.opts.LeaseOwner
+		fo.GCWatermarkBytes = s.opts.GCWatermarkBytes
 		fo.Run = func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
 			s.runs.Add(1)
 			return s.runCampaign(p, cfg)
@@ -324,6 +332,13 @@ func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// In single-process mode the fleet never saw the store (Campaign owns
+	// lookup and write-through), so the watermark bound is applied here.
+	if fo.Store == nil && s.opts.Store != nil {
+		if _, _, gcErr := fleet.GCAtWatermark(s.opts.Store, s.opts.GCWatermarkBytes); gcErr != nil {
+			return nil, gcErr
+		}
 	}
 	return rep.Results(), nil
 }

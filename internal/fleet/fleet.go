@@ -65,7 +65,11 @@ type Options struct {
 	// shard computation. Nil disables persistence: every shard computes.
 	// Callers whose Run already persists (e.g. a store-backed
 	// experiments.Suite) pass nil here to avoid double bookkeeping.
-	Store *store.Store
+	// Any store.Backend works: a local *store.Store directory or a
+	// storenet.Client speaking to a stored daemon — the claim/wait/steal
+	// protocol below is identical either way, which is what lets a sweep
+	// span hosts.
+	Store store.Backend
 
 	// Config maps a shard's profile to the campaign configuration it
 	// runs; required when Store is set (it feeds the content address).
@@ -91,6 +95,14 @@ type Options struct {
 	// WaitPoll is how often a worker re-checks a shard held by a live
 	// peer. Zero means a sensible default.
 	WaitPoll time.Duration
+
+	// GCWatermarkBytes, when positive (requires Store), bounds the store
+	// without operator action: after the sweep, if the indexed blobs
+	// total more than the watermark, one GC pass evicts
+	// least-recently-used blobs back under it (and sweeps crash debris).
+	// Report.GC carries the pass's stats when one ran. Zero leaves GC
+	// manual.
+	GCWatermarkBytes int64
 }
 
 func (o Options) replicas(shards int) int {
@@ -136,6 +148,9 @@ type Report struct {
 	// waiting on a peer's claim, Stolen counts expired leases it took
 	// over from dead peers.
 	Claimed, Waited, Stolen int
+	// GC carries the stats of the watermark GC pass that followed the
+	// sweep, when Options.GCWatermarkBytes triggered one; nil otherwise.
+	GC *store.GCStats
 }
 
 // Results returns the shard results in shard order. Only meaningful when
@@ -148,24 +163,60 @@ func (r *Report) Results() []*core.Result {
 	return out
 }
 
-// Plan reports, per shard, whether the store already holds its result —
-// i.e. what a Sweep would skip. Without a store every entry is false.
-func Plan(profiles []hwprofile.Profile, opts Options) ([]bool, error) {
-	cached := make([]bool, len(profiles))
+// ShardPlan previews one shard of a prospective sweep.
+type ShardPlan struct {
+	// Key is the shard's content address (zero without a store).
+	Key store.Key
+	// Cached reports the store already holds the shard's result — the
+	// sweep would serve it without computing.
+	Cached bool
+	// LeaseHolder is the owner label of a live claim on the shard, ""
+	// when unclaimed. It lets a scheduler route processes at disjoint
+	// shard ranges up front instead of discovering contention by
+	// polling. A racy peek by nature: the holder may finish, die, or be
+	// stolen from between Plan and Sweep, and the claim loop handles all
+	// three — the plan optimises placement, it never gates correctness.
+	LeaseHolder string
+}
+
+// Plan reports, per shard, whether the store already holds its result
+// (what a Sweep would skip) and who, if anyone, currently holds its
+// lease. Without a store every entry is zero-valued.
+func Plan(profiles []hwprofile.Profile, opts Options) ([]ShardPlan, error) {
+	plans := make([]ShardPlan, len(profiles))
 	if opts.Store == nil {
-		return cached, nil
+		return plans, nil
 	}
 	if opts.Config == nil {
 		return nil, fmt.Errorf("fleet: store configured without a Config function")
+	}
+	// One Index call answers Cached for every shard — against a remote
+	// backend that is a single round trip instead of a HEAD per shard.
+	// (The index can trail a peer's seconds-old write; the sweep's own
+	// Get still catches it, so the plan errs only toward scheduling a
+	// shard that turns into a free hit.)
+	indexed := make(map[string]bool)
+	for _, e := range opts.Store.Index() {
+		indexed[e.Digest] = true
 	}
 	for i, p := range profiles {
 		k, err := store.ProfileKey(p, opts.Config(p))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: key for %s/%d: %w", p.Key, p.Instance, err)
 		}
-		cached[i] = opts.Store.Has(k)
+		plans[i].Key = k
+		plans[i].Cached = indexed[k.Digest]
+		if plans[i].Cached {
+			// A cached shard resolves from the store regardless of
+			// claims; skipping the peek saves a round trip per shard on
+			// remote backends.
+			continue
+		}
+		if owner, held := opts.Store.LeaseHolder(k.Digest); held {
+			plans[i].LeaseHolder = owner
+		}
 	}
-	return cached, nil
+	return plans, nil
 }
 
 // errAborted marks a shard abandoned because the sweep failed elsewhere
@@ -258,13 +309,46 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 	rep.Waited = int(sw.waited.Load())
 	rep.Stolen = int(sw.stolen.Load())
 
+	var shardErr error
 	for i := range rep.Shards {
 		if rep.Shards[i].Err != nil {
-			return rep, fmt.Errorf("fleet: shard %d (%s/%d): %w",
+			shardErr = fmt.Errorf("fleet: shard %d (%s/%d): %w",
 				i, rep.Shards[i].Profile.Key, rep.Shards[i].Profile.Instance, rep.Shards[i].Err)
+			break
 		}
 	}
-	return rep, nil
+
+	// The watermark pass runs even after a shard failure — completed
+	// shards were persisted and count against the bound either way — but
+	// its own error never masks the shard's.
+	if opts.Store != nil && opts.GCWatermarkBytes > 0 {
+		gs, ran, gcErr := GCAtWatermark(opts.Store, opts.GCWatermarkBytes)
+		if ran {
+			rep.GC = gs
+		}
+		if gcErr != nil && shardErr == nil {
+			shardErr = fmt.Errorf("fleet: gc at watermark: %w", gcErr)
+		}
+	}
+	return rep, shardErr
+}
+
+// GCAtWatermark runs one size-bounded GC pass when the store's indexed
+// bytes exceed the watermark, keeping long-lived caches bounded without
+// operator action. It reports whether a pass ran; under the watermark
+// it costs one Index call and touches nothing.
+func GCAtWatermark(b store.Backend, watermark int64) (*store.GCStats, bool, error) {
+	if b == nil || watermark <= 0 {
+		return nil, false, nil
+	}
+	if store.IndexedBytes(b.Index()) <= watermark {
+		return nil, false, nil
+	}
+	gs, err := b.GC(store.GCPolicy{MaxBytes: watermark})
+	if err != nil {
+		return nil, true, err
+	}
+	return &gs, true, nil
 }
 
 // runShard resolves one shard: store lookup, claim (in lease mode),
@@ -310,7 +394,7 @@ func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
 		}
 		if ok {
 			w.claimed.Add(1)
-			if lease.Stolen {
+			if lease.Stolen() {
 				w.stolen.Add(1)
 			}
 			// The previous holder may have finished between our miss and
@@ -351,7 +435,7 @@ func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
 // computeAndPersist runs the shard and writes it through, renewing the
 // lease (when one is held) at half-TTL so a long campaign is not stolen
 // mid-compute.
-func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease *store.Lease) error {
+func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease store.LeaseHandle) error {
 	var stopRenew func()
 	if lease != nil {
 		stopRenew = renewLoop(lease, w.opts.LeaseTTL)
@@ -382,7 +466,7 @@ func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease *store.Lea
 // renewLoop keeps a held lease fresh until stopped. The returned stop
 // function blocks until the renewer has exited, so a Release that
 // follows cannot race a final Renew.
-func renewLoop(lease *store.Lease, ttl time.Duration) func() {
+func renewLoop(lease store.LeaseHandle, ttl time.Duration) func() {
 	interval := ttl / 2
 	if interval < time.Millisecond {
 		interval = time.Millisecond

@@ -114,9 +114,16 @@ func TestSweepResumesAfterFailure(t *testing.T) {
 	}
 
 	// The plan shows exactly the completed prefix as cached.
-	cached, err := Plan(profiles, failing)
+	plan, err := Plan(profiles, failing)
 	if err != nil {
 		t.Fatal(err)
+	}
+	cached := make([]bool, len(plan))
+	for i, sp := range plan {
+		cached[i] = sp.Cached
+		if sp.Key.Digest == "" {
+			t.Fatalf("plan shard %d has no content address", i)
+		}
 	}
 	if want := []bool{true, true, false, false}; fmt.Sprint(cached) != fmt.Sprint(want) {
 		t.Fatalf("Plan = %v, want %v", cached, want)
@@ -175,9 +182,9 @@ func TestSweepWithoutStore(t *testing.T) {
 	if calls.Load() != 2 || rep.Hits != 0 || rep.Computed != 2 {
 		t.Fatalf("calls=%d rep=%+v", calls.Load(), rep)
 	}
-	cached, err := Plan(testProfiles(2), opts)
-	if err != nil || cached[0] || cached[1] {
-		t.Fatalf("Plan without store: %v %v", cached, err)
+	plan, err := Plan(testProfiles(2), opts)
+	if err != nil || plan[0].Cached || plan[1].Cached || plan[0].LeaseHolder != "" {
+		t.Fatalf("Plan without store: %v %v", plan, err)
 	}
 }
 
@@ -432,5 +439,105 @@ func TestSweepLeaseWarmIsAllHits(t *testing.T) {
 		if strings.HasSuffix(e.Name(), ".lease") {
 			t.Fatalf("lease file %s left behind after clean sweeps", e.Name())
 		}
+	}
+}
+
+// TestPlanReportsLeaseHolder: the plan exposes who holds each shard's
+// claim, so a scheduler can route processes at disjoint ranges up front.
+func TestPlanReportsLeaseHolder(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(3)
+	opts := Options{Store: st, Config: testConfig, Run: fakeRun(new(atomic.Int64))}
+
+	k0, err := store.ProfileKey(profiles[0], testConfig(profiles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, ok, err := st.TryAcquire(k0.Digest, "peer-7", time.Minute)
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	// Shard 1 is cached; an *expired* claim on shard 2 must read as free.
+	if err := st.Put(mustProfileKey(t, profiles[1]), &core.Result{DeviceName: "cached"}); err != nil {
+		t.Fatal(err)
+	}
+	k2 := mustProfileKey(t, profiles[2])
+	if _, ok, err := st.TryAcquire(k2.Digest, "dead", time.Millisecond); err != nil || !ok {
+		t.Fatalf("dead claim: ok=%v err=%v", ok, err)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	plan, err := Plan(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan[0].LeaseHolder != "peer-7" || plan[0].Cached {
+		t.Fatalf("plan[0] = %+v, want live holder peer-7, uncached", plan[0])
+	}
+	if !plan[1].Cached || plan[1].LeaseHolder != "" {
+		t.Fatalf("plan[1] = %+v, want cached, unclaimed", plan[1])
+	}
+	if plan[2].LeaseHolder != "" {
+		t.Fatalf("plan[2] = %+v, an expired claim must read as free", plan[2])
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustProfileKey(t *testing.T, p hwprofile.Profile) store.Key {
+	t.Helper()
+	k, err := store.ProfileKey(p, testConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestSweepWatermarkGC: a sweep whose store outgrew the watermark runs
+// one size-bounded GC pass afterwards and reports it; under the
+// watermark no pass runs.
+func TestSweepWatermarkGC(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(4)
+	var calls atomic.Int64
+	over := Options{Store: st, Config: testConfig, Run: fakeRun(&calls), GCWatermarkBytes: 1}
+	rep, err := Sweep(profiles, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GC == nil {
+		t.Fatal("no watermark GC pass despite a 1-byte watermark")
+	}
+	if rep.GC.Evicted == 0 || st.Len() != 0 {
+		t.Fatalf("watermark pass evicted %d, %d blobs left; want everything gone under a 1-byte bound",
+			rep.GC.Evicted, st.Len())
+	}
+	// Every shard still carries its result: GC bounds the cache, never
+	// the sweep in hand.
+	for i, sh := range rep.Shards {
+		if sh.Result == nil {
+			t.Fatalf("shard %d lost its result to the GC pass", i)
+		}
+	}
+
+	// A generous watermark leaves the store alone.
+	calls.Store(0)
+	rep2, err := Sweep(profiles, Options{Store: st, Config: testConfig, Run: fakeRun(&calls),
+		GCWatermarkBytes: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.GC != nil {
+		t.Fatalf("GC pass ran below the watermark: %+v", rep2.GC)
+	}
+	if st.Len() != len(profiles) {
+		t.Fatalf("store len = %d, want %d", st.Len(), len(profiles))
 	}
 }

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"time"
+
+	"golatest/internal/core"
+)
+
+// Backend is the campaign-store surface the rest of the system builds
+// on: content-addressed Get/Put over campaign Keys, the advisory lease
+// protocol, the index, and GC. Two implementations exist:
+//
+//   - *Store — the filesystem store in this package, coordinating
+//     processes that share one directory (rename atomicity, O_APPEND
+//     journal, O_EXCL leases);
+//   - storenet.Client — the same contract spoken over HTTP to a
+//     `stored` daemon, so fleets spanning hosts share one store.
+//
+// The error discipline is deliberately asymmetric, matching the local
+// store's corruption tolerance: reads (Get, Has, Index, Len,
+// LeaseHolder) degrade to a miss/empty answer on any failure — a miss
+// is always recoverable by recomputing, and campaigns are deterministic
+// so the recompute is byte-identical — while writes and claims (Put,
+// TryAcquire, GC) surface their errors, because a store that cannot
+// accept results or arbitrate leases must stop the fleet rather than
+// let it silently recompute forever.
+type Backend interface {
+	// Location names the store for logs and stats lines: a directory
+	// for the filesystem store, a base URL for a remote one.
+	Location() string
+
+	// Get returns the stored campaign for the key, or (nil, false) on
+	// any kind of miss — absent, unreadable, or invalid.
+	Get(k Key) (*core.Result, bool)
+	// Put stores the campaign under the key.
+	Put(k Key, res *core.Result) error
+	// Has reports whether a blob exists for the key without validating
+	// it; only Get vouches for integrity.
+	Has(k Key) bool
+
+	// Index lists the indexed blobs; Len counts them.
+	Index() []ManifestEntry
+	Len() int
+	// Counters reports this handle's traffic.
+	Counters() Counters
+
+	// TryAcquire claims digest for owner until now+ttl: (lease, true,
+	// nil) on success, (nil, false, nil) when a live peer holds it.
+	TryAcquire(digest, owner string, ttl time.Duration) (LeaseHandle, bool, error)
+	// LeaseHolder peeks at the live holder of a digest's lease.
+	LeaseHolder(digest string) (owner string, held bool)
+
+	// GC bounds the store per the policy and sweeps debris.
+	GC(p GCPolicy) (GCStats, error)
+}
+
+// LeaseHandle is a held advisory claim, abstracted over backends. Renew
+// and Release verify the acquisition token — a handle whose lease was
+// stolen after expiry can only fail, never clobber the new holder.
+type LeaseHandle interface {
+	// Owner returns the label the lease was acquired under.
+	Owner() string
+	// Token returns the per-acquisition token Renew/Release verify; the
+	// network layer round-trips it so a stateless daemon can reattach.
+	Token() string
+	// Stolen reports the claim displaced an expired previous holder.
+	Stolen() bool
+	// Renew extends the claim to now+ttl.
+	Renew(ttl time.Duration) error
+	// Release drops the claim; best-effort and idempotent.
+	Release() error
+}
+
+var (
+	_ Backend     = (*Store)(nil)
+	_ LeaseHandle = (*Lease)(nil)
+)
+
+// IndexedBytes sums the recorded blob sizes of an index listing — the
+// cheap store-size estimate watermark checks use (recorded sizes can
+// lag the filesystem briefly; GC itself re-stats every blob).
+func IndexedBytes(entries []ManifestEntry) int64 {
+	var total int64
+	for _, e := range entries {
+		total += e.Bytes
+	}
+	return total
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -327,6 +328,13 @@ func decodeResult(sr storedResult) *core.Result {
 	return res
 }
 
+// ErrInvalidBlob marks bytes that are not a valid blob for the digest
+// they were presented under: unparseable JSON, a foreign schema
+// version, or a digest mismatch. It distinguishes "these bytes are
+// garbage" (reject, recompute) from I/O failures; the network daemon
+// maps it to 400 Bad Request.
+var ErrInvalidBlob = errors.New("invalid blob")
+
 // encodeBlob renders the versioned on-disk form of a campaign result.
 func encodeBlob(k Key, res *core.Result) ([]byte, error) {
 	b := storedBlob{
@@ -339,20 +347,49 @@ func encodeBlob(k Key, res *core.Result) ([]byte, error) {
 	return json.MarshalIndent(b, "", " ")
 }
 
-// decodeBlob parses a blob and validates its envelope against the key it
-// was looked up under. Any mismatch — schema drift, a blob renamed onto
-// the wrong digest, plain corruption — is an error; callers treat every
-// decode error as a cache miss and recompute.
-func decodeBlob(data []byte, k Key) (*core.Result, error) {
+// EncodeBlob renders the canonical wire/disk bytes of a campaign result
+// under its key — the payload the network layer ships verbatim. Equal
+// key ⇒ equal result ⇒ equal bytes, which is what makes a blob
+// immutable for its digest (the ETag contract).
+func EncodeBlob(k Key, res *core.Result) ([]byte, error) {
+	return encodeBlob(k, res)
+}
+
+// parseBlob validates data against the digest it is stored (or
+// addressed) under and returns the envelope. Any mismatch — garbage
+// JSON, schema drift, a blob renamed onto the wrong digest, a truncated
+// body — wraps ErrInvalidBlob; callers treat it as a cache miss and
+// recompute.
+func parseBlob(data []byte, digest string) (*storedBlob, error) {
 	var b storedBlob
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("store: blob %s: %w", k.Digest, err)
+		return nil, fmt.Errorf("store: blob %s: %w: %v", digest, ErrInvalidBlob, err)
 	}
 	if b.Schema != SchemaVersion {
-		return nil, fmt.Errorf("store: blob %s: schema %d, want %d", k.Digest, b.Schema, SchemaVersion)
+		return nil, fmt.Errorf("store: blob %s: %w: schema %d, want %d",
+			digest, ErrInvalidBlob, b.Schema, SchemaVersion)
 	}
-	if b.Digest != k.Digest {
-		return nil, fmt.Errorf("store: blob digest %s does not match key %s", b.Digest, k.Digest)
+	if b.Digest != digest {
+		return nil, fmt.Errorf("store: %w: blob digest %s does not match key %s",
+			ErrInvalidBlob, b.Digest, digest)
+	}
+	return &b, nil
+}
+
+// ValidateBlob parses and validates raw blob bytes against a digest and
+// returns the decoded result. The network client runs every response
+// body through it, so a truncated or tampered transfer is a miss (and a
+// recompute), never a wrong result.
+func ValidateBlob(data []byte, digest string) (*core.Result, error) {
+	b, err := parseBlob(data, digest)
+	if err != nil {
+		return nil, err
 	}
 	return decodeResult(b.Result), nil
+}
+
+// decodeBlob parses a blob and validates its envelope against the key it
+// was looked up under.
+func decodeBlob(data []byte, k Key) (*core.Result, error) {
+	return ValidateBlob(data, k.Digest)
 }

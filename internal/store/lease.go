@@ -46,18 +46,23 @@ type leaseFile struct {
 	ExpiresUnixNs int64  `json:"expires_unix_ns"`
 }
 
-// Lease is a held claim. Release it when done; Renew it while working
-// longer than the TTL.
+// Lease is a held claim on the local filesystem. Release it when done;
+// Renew it while working longer than the TTL.
 type Lease struct {
-	path  string
-	owner string
-	token string
-	// Stolen reports the claim displaced an expired previous holder.
-	Stolen bool
+	path   string
+	owner  string
+	token  string
+	stolen bool
 }
 
 // Owner returns the id the lease was acquired under.
 func (l *Lease) Owner() string { return l.owner }
+
+// Token returns the per-acquisition token Renew and Release verify.
+func (l *Lease) Token() string { return l.token }
+
+// Stolen reports the claim displaced an expired previous holder.
+func (l *Lease) Stolen() bool { return l.stolen }
 
 // handleSeq disambiguates handle ids minted in the same nanosecond.
 var handleSeq atomic.Int64
@@ -77,7 +82,7 @@ func newHandleID() string {
 // that crashed and restarted re-claims its shards through the ordinary
 // expiry-steal path). The error return is reserved for real I/O
 // failures.
-func (s *Store) TryAcquire(digest, owner string, ttl time.Duration) (*Lease, bool, error) {
+func (s *Store) TryAcquire(digest, owner string, ttl time.Duration) (LeaseHandle, bool, error) {
 	if digest == "" || strings.ContainsRune(digest, os.PathSeparator) {
 		return nil, false, fmt.Errorf("store: invalid lease digest %q", digest)
 	}
@@ -87,7 +92,25 @@ func (s *Store) TryAcquire(digest, owner string, ttl time.Duration) (*Lease, boo
 	if ttl <= 0 {
 		return nil, false, fmt.Errorf("store: non-positive lease ttl %v", ttl)
 	}
-	return tryAcquirePath(filepath.Join(s.dir, digest+leaseSuffix), owner, ttl)
+	l, ok, err := tryAcquirePath(filepath.Join(s.dir, digest+leaseSuffix), owner, ttl)
+	if l == nil {
+		// Return an untyped nil: a typed-nil *Lease inside the interface
+		// would make callers' `lease != nil` checks lie.
+		return nil, ok, err
+	}
+	return l, ok, err
+}
+
+// AttachLease reconstructs a handle for an acquisition made earlier —
+// possibly by another handle or another process — from its digest,
+// owner label, and token. Nothing is checked at attach time: Renew and
+// Release verify the token against the on-disk lease, so an attach with
+// a stale or fabricated token can only fail, never displace the live
+// holder. This is what lets the network daemon stay stateless — clients
+// round-trip the token, and a restarted daemon serves renewals without
+// any in-memory lease table.
+func (s *Store) AttachLease(digest, owner, token string) LeaseHandle {
+	return &Lease{path: filepath.Join(s.dir, digest+leaseSuffix), owner: owner, token: token}
 }
 
 func tryAcquirePath(path, owner string, ttl time.Duration) (*Lease, bool, error) {
@@ -107,7 +130,7 @@ func tryAcquirePath(path, owner string, ttl time.Duration) (*Lease, bool, error)
 				os.Remove(path)
 				return nil, false, fmt.Errorf("store: lease %s: %w", path, merr)
 			}
-			return &Lease{path: path, owner: owner, token: token, Stolen: stolen}, true, nil
+			return &Lease{path: path, owner: owner, token: token, stolen: stolen}, true, nil
 		}
 		if !os.IsExist(err) {
 			return nil, false, fmt.Errorf("store: lease %s: %w", path, err)

@@ -23,7 +23,7 @@ func TestLeaseExclusive(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("first claim: ok=%v err=%v", ok, err)
 	}
-	if l.Stolen {
+	if l.Stolen() {
 		t.Fatal("uncontended claim reported stolen")
 	}
 	if _, ok, err := s.TryAcquire(digest, "beta", time.Minute); err != nil || ok {
@@ -62,7 +62,7 @@ func TestLeaseSameOwnerIsBusy(t *testing.T) {
 	}
 	time.Sleep(20 * time.Millisecond)
 	l, ok, err := s.TryAcquire("d2", "beta", time.Minute)
-	if err != nil || !ok || !l.Stolen {
+	if err != nil || !ok || !l.Stolen() {
 		t.Fatalf("restarted owner could not reclaim its expired lease: ok=%v err=%v", ok, err)
 	}
 }
@@ -77,7 +77,7 @@ func TestLeaseStealExpired(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("steal of expired lease failed: ok=%v err=%v", ok, err)
 	}
-	if !l.Stolen {
+	if !l.Stolen() {
 		t.Fatal("takeover of an expired lease not reported as stolen")
 	}
 	if owner, held := s.LeaseHolder("d1"); !held || owner != "alive" {
@@ -92,8 +92,8 @@ func TestLeaseStealGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	l, ok, err := s.TryAcquire("d1", "alpha", time.Minute)
-	if err != nil || !ok || !l.Stolen {
-		t.Fatalf("garbage lease not stolen: ok=%v stolen=%v err=%v", ok, l != nil && l.Stolen, err)
+	if err != nil || !ok || !l.Stolen() {
+		t.Fatalf("garbage lease not stolen: ok=%v stolen=%v err=%v", ok, l != nil && l.Stolen(), err)
 	}
 }
 
@@ -148,7 +148,7 @@ func TestLeaseTokenGuardsRenewAndRelease(t *testing.T) {
 	}
 	time.Sleep(20 * time.Millisecond)
 	stealer, ok, err := s.TryAcquire("d1", "shared-label", time.Minute)
-	if err != nil || !ok || !stealer.Stolen {
+	if err != nil || !ok || !stealer.Stolen() {
 		t.Fatalf("steal: ok=%v err=%v", ok, err)
 	}
 

@@ -203,6 +203,10 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Location implements Backend: a filesystem store is located at its
+// directory.
+func (s *Store) Location() string { return s.dir }
+
 // Counters returns a snapshot of the traffic counters.
 func (s *Store) Counters() Counters {
 	return Counters{
@@ -215,8 +219,12 @@ func (s *Store) Counters() Counters {
 
 // Has reports whether a blob exists for the key, without reading or
 // validating it and without touching the hit/miss counters. A planner's
-// convenience; only Get vouches for the blob's integrity.
+// convenience; only Get vouches for the blob's integrity. A reserved
+// digest never has a blob, even though a file by that name exists.
 func (s *Store) Has(k Key) bool {
+	if reservedDigest(k.Digest) {
+		return false
+	}
 	_, err := os.Stat(filepath.Join(s.dir, k.blobName()))
 	return err == nil
 }
@@ -243,6 +251,64 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 	s.hits.Add(1)
 	s.touch(k, int64(len(data)))
 	return res, true
+}
+
+// reservedDigest reports a digest whose blob filename would collide
+// with the store's own index snapshot. Such a digest can never address
+// a blob; treating it as ordinary input would let a network client read
+// — or, via the corrupt-blob healing path, delete — manifest.json.
+func reservedDigest(digest string) bool { return digest+".json" == manifestName }
+
+// GetRaw returns the validated raw bytes of the blob stored under
+// digest — the network daemon's read path: the blob is shipped
+// verbatim (no decode/re-encode round trip on the wire), while the
+// validation, traffic counters, LRU touch, and corrupt-blob healing all
+// match Get. The touch indexes under the profile/instance recorded in
+// the blob envelope, so a served blob is fully described in the index
+// even when this handle never saw its Put.
+func (s *Store) GetRaw(digest string) ([]byte, bool) {
+	if reservedDigest(digest) {
+		// A plain miss, pointedly without healing: the "corrupt blob"
+		// a reserved digest resolves to is the index snapshot itself.
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, digest+".json"))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	b, err := parseBlob(data, digest)
+	if err != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		s.healCorrupt(Key{Digest: digest})
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.touch(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, int64(len(data)))
+	return data, true
+}
+
+// PutRaw stores pre-encoded blob bytes under digest — the network
+// daemon's write path, and the client's local-cache heal. The bytes are
+// validated first (envelope parse, schema, digest match; failures wrap
+// ErrInvalidBlob), so a caller can never plant a blob Get would reject,
+// then written with the same atomic rename and O(1) journal append as
+// Put.
+func (s *Store) PutRaw(digest string, data []byte) error {
+	if reservedDigest(digest) {
+		return fmt.Errorf("store: %w: digest %q names the index snapshot", ErrInvalidBlob, digest)
+	}
+	b, err := parseBlob(data, digest)
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(digest+".json", data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	return s.recordPut(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, int64(len(data)))
 }
 
 // healCorrupt removes an unreadable blob and tombstones its index entry,
@@ -296,7 +362,12 @@ func (s *Store) Put(k Key, res *core.Result) error {
 		return err
 	}
 	s.puts.Add(1)
+	return s.recordPut(k, int64(len(data)))
+}
 
+// recordPut indexes a freshly written blob: upsert the manifest entry,
+// journal it, and compact if the log outgrew its threshold.
+func (s *Store) recordPut(k Key, size int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := ManifestEntry{
@@ -304,7 +375,7 @@ func (s *Store) Put(k Key, res *core.Result) error {
 		Profile:      k.Profile,
 		Instance:     k.Instance,
 		Schema:       SchemaVersion,
-		Bytes:        int64(len(data)),
+		Bytes:        size,
 		AccessUnixNs: time.Now().UnixNano(),
 	}
 	s.manifest[k.Digest] = e

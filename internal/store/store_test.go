@@ -472,3 +472,32 @@ func TestHasDoesNotTouchCounters(t *testing.T) {
 		t.Fatalf("Has touched counters: %+v", c)
 	}
 }
+
+// TestRawReservedDigest: the raw (network-facing) paths must refuse the
+// digest that resolves to the index snapshot — a GetRaw must not heal
+// ("delete") manifest.json and a PutRaw must not overwrite it.
+func TestRawReservedDigest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mustKey(t, 0, 42), testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetRaw("manifest"); ok {
+		t.Fatal("GetRaw served the index snapshot as a blob")
+	}
+	if err := s.PutRaw("manifest", []byte(`{"schema":1,"digest":"manifest"}`)); err == nil {
+		t.Fatal("PutRaw accepted the reserved digest")
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("manifest.json harmed by reserved-digest access: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}

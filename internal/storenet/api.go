@@ -1,0 +1,148 @@
+// Package storenet puts the campaign store on the network: an HTTP
+// daemon (Server, run by cmd/stored) that serves a local
+// *store.Store directory, and a Client that speaks to it while
+// implementing the same store.Backend contract as the directory it
+// fronts — so internal/fleet and internal/experiments coordinate
+// cross-host sweeps through exactly the code paths they use for a
+// shared filesystem.
+//
+// # Wire format
+//
+// The API is versioned by its path prefix (/v1) and deliberately small:
+//
+//	GET  /v1/blobs/{digest}           → raw blob bytes (ETag: "digest")
+//	HEAD /v1/blobs/{digest}           → existence probe (no counters)
+//	PUT  /v1/blobs/{digest}           → validate + store blob bytes
+//	POST /v1/leases/{digest}/acquire  → {owner, ttl_ns} ⇒ {token, stolen} | 409 {holder}
+//	POST /v1/leases/{digest}/renew    → {owner, token, ttl_ns} ⇒ 204 | 409
+//	POST /v1/leases/{digest}/release  → {owner, token} ⇒ 204
+//	GET  /v1/leases/{digest}          → {held, owner}
+//	GET  /v1/index                    → {api, schema, entries}
+//	GET  /v1/stats                    → {api, schema, blobs, bytes, counters}
+//	POST /v1/gc                       → {max_bytes, max_age_ns} ⇒ GCStats
+//
+// Blobs travel verbatim — the canonical bytes store.EncodeBlob produces
+// and a *store.Store keeps on disk. A blob's content is a deterministic
+// function of its digest (equal key ⇒ equal result ⇒ equal bytes), so
+// blobs are immutable per digest and the digest doubles as a strong
+// ETag: a body that ever validated for a digest never needs re-fetching.
+// Note the digest is the content address of the campaign's *inputs*
+// (schema, profile, instance, seed, config — see internal/store), not a
+// hash of the blob bytes; validation is therefore envelope validation
+// (store.ValidateBlob), not a byte-hash comparison.
+//
+// Every response body is validated by the client before use: a
+// truncated transfer, a tampered payload, or a digest/schema mismatch
+// is a miss — recompute and heal — never an error and never a wrong
+// result, mirroring the local store's corrupt-blob path.
+//
+// # Leases
+//
+// Lease endpoints expose the store's compare-and-swap claims. The
+// server arbitrates with the same O_CREATE|O_EXCL files local sweeps
+// use, so local processes sharing the daemon's directory and remote
+// clients interoperate in one fleet. Acquire returns a per-acquisition
+// token; renew and release round-trip it and the server verifies it
+// against the on-disk lease (store.AttachLease), which keeps the daemon
+// stateless — a restarted daemon serves renewals for leases it never
+// saw granted. A failed renew means the lease was lost to a stealer:
+// the client's claim loop treats it exactly like a local steal.
+//
+// # Versioning
+//
+// Bump the path prefix (v1 → v2) when the wire contract changes
+// incompatibly: an endpoint's method/status semantics change, a
+// request/response field changes meaning, or blob bytes stop being the
+// store's canonical encoding. Adding endpoints or optional response
+// fields is compatible and needs no bump. store.SchemaVersion is
+// independent and travels inside blobs and index/stats responses: a
+// schema bump invalidates stored results on every backend at once,
+// while the API version only governs how bytes move.
+package storenet
+
+import (
+	"regexp"
+
+	"golatest/internal/store"
+)
+
+// APIVersion is the wire protocol version — the N of the /vN path
+// prefix. See the package comment for when to bump it.
+const APIVersion = 1
+
+// apiPrefix is the path prefix every endpoint lives under.
+const apiPrefix = "/v1"
+
+const (
+	// maxBlobBytes bounds a blob transfer; quick-scale blobs are tens of
+	// kilobytes and full-scale ones low megabytes, so 256 MiB is a
+	// safety rail, not a working limit.
+	maxBlobBytes = 256 << 20
+	// maxControlBytes bounds control-plane request bodies (lease ops,
+	// GC policies).
+	maxControlBytes = 1 << 16
+)
+
+// digestRe admits the digests the store itself accepts as filenames:
+// no separators, no leading dot (which would collide with staging
+// files), bounded length. Content addresses are 64-char hex; the wider
+// class keeps the daemon usable with the store's test digests.
+var digestRe = regexp.MustCompile(`^[A-Za-z0-9_-][A-Za-z0-9._-]{0,127}$`)
+
+// acquireRequest asks for a lease on the digest in the path.
+type acquireRequest struct {
+	Owner string `json:"owner"`
+	TTLNs int64  `json:"ttl_ns"`
+}
+
+// acquireResponse grants a lease. Token is what renew/release verify.
+type acquireResponse struct {
+	Token  string `json:"token"`
+	Stolen bool   `json:"stolen"`
+}
+
+// busyResponse is the 409 body of a contended acquire.
+type busyResponse struct {
+	Holder string `json:"holder,omitempty"`
+}
+
+// renewRequest extends a held lease; releaseRequest drops one.
+type renewRequest struct {
+	Owner string `json:"owner"`
+	Token string `json:"token"`
+	TTLNs int64  `json:"ttl_ns"`
+}
+
+type releaseRequest struct {
+	Owner string `json:"owner"`
+	Token string `json:"token"`
+}
+
+// holderResponse reports a lease peek.
+type holderResponse struct {
+	Held  bool   `json:"held"`
+	Owner string `json:"owner,omitempty"`
+}
+
+// indexResponse lists the daemon's manifest.
+type indexResponse struct {
+	API     int                   `json:"api"`
+	Schema  int                   `json:"schema"`
+	Entries []store.ManifestEntry `json:"entries"`
+}
+
+// statsResponse summarises the daemon's store.
+type statsResponse struct {
+	API      int            `json:"api"`
+	Schema   int            `json:"schema"`
+	Blobs    int            `json:"blobs"`
+	Bytes    int64          `json:"bytes"`
+	Counters store.Counters `json:"counters"`
+}
+
+// gcRequest is a store.GCPolicy on the wire; the response is the
+// store.GCStats of the pass, verbatim.
+type gcRequest struct {
+	MaxBytes int64 `json:"max_bytes"`
+	MaxAgeNs int64 `json:"max_age_ns"`
+}

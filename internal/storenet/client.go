@@ -1,0 +1,450 @@
+package storenet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"golatest/internal/core"
+	"golatest/internal/store"
+)
+
+// Client speaks the v1 API to a stored daemon and implements
+// store.Backend, so fleet sweeps and experiment suites use a remote
+// store through the exact code paths they use for a local directory.
+//
+// # Cache tier
+//
+// With Options.Cache set, the client runs write-through over a local
+// *store.Store: Get serves local hits without a network round trip, a
+// remote hit heals the local tier (the validated bytes are written
+// down), and Put lands in both. Because blobs are immutable per digest,
+// the tiers can never disagree about a key's content — only about its
+// presence — so the local tier is pure acceleration. Leases always go
+// remote: claims must be arbitrated fleet-wide, never per host.
+//
+// # Failure discipline
+//
+// Reads degrade, writes surface — the Backend contract. Idempotent
+// verbs (GET, HEAD, PUT: content-addressed, same bytes every time) are
+// retried with backoff on connection errors and 5xx responses; lease
+// operations are never retried, because an acquire whose response was
+// lost may have been granted — the claim loop's wait/steal path
+// resolves that ambiguity within one TTL, which a blind retry would
+// turn into a self-steal.
+//
+// A Get whose response body is truncated, tampered with, or otherwise
+// fails validation (store.ValidateBlob: envelope, schema, digest) is a
+// miss and ticks the Corrupt counter — the caller recomputes and the
+// subsequent Put heals both tiers, mirroring the local corrupt-blob
+// path. It is never an error and can never yield a wrong result.
+type Client struct {
+	base    string
+	hc      *http.Client
+	cache   *store.Store
+	retries int
+	backoff time.Duration
+
+	hits, misses, corrupt, puts atomic.Int64
+}
+
+// ClientOptions configures a Client; the zero value works.
+type ClientOptions struct {
+	// Cache, when non-nil, is the local write-through tier.
+	Cache *store.Store
+	// HTTPClient overrides the default client (keep-alive transport,
+	// 60 s request timeout).
+	HTTPClient *http.Client
+	// Retries is the attempt budget per idempotent request; 0 means 3.
+	Retries int
+	// RetryBackoff is the initial retry delay, doubling per attempt;
+	// 0 means 50 ms.
+	RetryBackoff time.Duration
+}
+
+var _ store.Backend = (*Client)(nil)
+
+// NewClient validates the base URL (http or https, e.g. the
+// "http://host:8417" a stored daemon prints) and builds the backend.
+// Construction does not touch the network: a daemon that is down at
+// start behaves like any other degraded read until writes need it.
+func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("storenet: base url %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("storenet: base url %q: need http(s)://host[:port]", baseURL)
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		// One client per fleet process issues many small requests to one
+		// host: keep-alive connection reuse is the whole ballgame.
+		hc = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	retries := opts.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	return &Client{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      hc,
+		cache:   opts.Cache,
+		retries: retries,
+		backoff: backoff,
+	}, nil
+}
+
+// Location implements Backend: a remote store is located at its URL.
+func (c *Client) Location() string { return c.base }
+
+func (c *Client) blobURL(digest string) string {
+	return c.base + apiPrefix + "/blobs/" + url.PathEscape(digest)
+}
+
+func (c *Client) leaseURL(digest, op string) string {
+	u := c.base + apiPrefix + "/leases/" + url.PathEscape(digest)
+	if op != "" {
+		u += "/" + op
+	}
+	return u
+}
+
+// doIdempotent issues one GET/HEAD/PUT with bounded retries on
+// connection errors and 5xx responses. The body, when present, is
+// replayed from memory on every attempt. 4xx responses return
+// immediately — retrying a request the server understood and refused
+// only repeats the refusal.
+func (c *Client) doIdempotent(method, u string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff << (attempt - 1))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			drain(resp)
+			lastErr = fmt.Errorf("storenet: %s %s: %s", method, u, resp.Status)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("storenet: %s %s: giving up after %d attempts: %w",
+		method, u, c.retries, lastErr)
+}
+
+// doOnce issues one non-idempotent (lease) request, exactly once.
+func (c *Client) doOnce(u string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
+// drain discards and closes a response body so the connection returns
+// to the keep-alive pool instead of being torn down.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxControlBytes))
+	resp.Body.Close()
+}
+
+// readBody reads the full (bounded) body and closes it. Every response
+// — including 404 messages and JSON with a trailing newline — must be
+// consumed to EOF, or the transport discards the connection instead of
+// pooling it and each subsequent request pays a fresh handshake.
+func readBody(resp *http.Response, limit int64) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(io.LimitReader(resp.Body, limit))
+}
+
+// Get resolves a key: local tier first, then the daemon. A remote hit
+// heals the local tier; an invalid or truncated remote body is a miss
+// (Corrupt counter), exactly like a corrupt local blob.
+func (c *Client) Get(k store.Key) (*core.Result, bool) {
+	if c.cache != nil {
+		if res, ok := c.cache.Get(k); ok {
+			c.hits.Add(1)
+			return res, true
+		}
+	}
+	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(k.Digest), nil)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	data, readErr := readBody(resp, maxBlobBytes)
+	if resp.StatusCode != http.StatusOK {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if readErr != nil {
+		// The transfer died mid-body: treat as a miss, recompute, heal.
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	res, err := store.ValidateBlob(data, k.Digest)
+	if err != nil {
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	if c.cache != nil {
+		// Best-effort heal: a full local disk must not fail a read the
+		// remote already answered.
+		_ = c.cache.PutRaw(k.Digest, data)
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// Put encodes once and writes through: daemon first (authoritative —
+// its failure fails the Put), then the local tier (best-effort).
+func (c *Client) Put(k store.Key, res *core.Result) error {
+	if res == nil {
+		return fmt.Errorf("storenet: nil result for %s", k)
+	}
+	data, err := store.EncodeBlob(k, res)
+	if err != nil {
+		return fmt.Errorf("storenet: encode %s: %w", k, err)
+	}
+	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data)
+	if err != nil {
+		return fmt.Errorf("storenet: put %s: %w", k, err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("storenet: put %s: %s", k, resp.Status)
+	}
+	if c.cache != nil {
+		_ = c.cache.PutRaw(k.Digest, data)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Has probes existence without counters: local tier, then a HEAD.
+func (c *Client) Has(k store.Key) bool {
+	if c.cache != nil && c.cache.Has(k) {
+		return true
+	}
+	resp, err := c.doIdempotent(http.MethodHead, c.blobURL(k.Digest), nil)
+	if err != nil {
+		return false
+	}
+	drain(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+// Index lists the daemon's manifest — the fleet-wide view, not the
+// local tier's subset. Degrades to empty on failure.
+func (c *Client) Index() []store.ManifestEntry {
+	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/index", nil)
+	if err != nil {
+		return nil
+	}
+	data, readErr := readBody(resp, maxBlobBytes)
+	var ix indexResponse
+	if resp.StatusCode != http.StatusOK || readErr != nil || json.Unmarshal(data, &ix) != nil {
+		return nil
+	}
+	return ix.Entries
+}
+
+// Len counts the daemon's blobs; 0 on failure.
+func (c *Client) Len() int {
+	st, err := c.Stats()
+	if err != nil {
+		return 0
+	}
+	return st.Blobs
+}
+
+// Stats fetches the daemon's stats endpoint.
+func (c *Client) Stats() (statsResponse, error) {
+	var st statsResponse
+	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/stats", nil)
+	if err != nil {
+		return st, err
+	}
+	data, readErr := readBody(resp, maxControlBytes)
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("storenet: stats: %s", resp.Status)
+	}
+	if readErr != nil {
+		return st, fmt.Errorf("storenet: stats: %w", readErr)
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("storenet: stats: %w", err)
+	}
+	return st, nil
+}
+
+// Counters reports this client's traffic (not the daemon's aggregate;
+// GET /v1/stats has that).
+func (c *Client) Counters() store.Counters {
+	return store.Counters{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Corrupt: c.corrupt.Load(),
+		Puts:    c.puts.Load(),
+	}
+}
+
+// TryAcquire claims the digest fleet-wide through the daemon. Exactly
+// one request is sent: if the response is lost after a grant, the
+// unrenewed lease expires within one TTL and the claim loop steals it —
+// the same recovery as a crashed local holder.
+func (c *Client) TryAcquire(digest, owner string, ttl time.Duration) (store.LeaseHandle, bool, error) {
+	if owner == "" {
+		return nil, false, fmt.Errorf("storenet: empty lease owner")
+	}
+	if ttl <= 0 {
+		return nil, false, fmt.Errorf("storenet: non-positive lease ttl %v", ttl)
+	}
+	resp, err := c.doOnce(c.leaseURL(digest, "acquire"), acquireRequest{Owner: owner, TTLNs: int64(ttl)})
+	if err != nil {
+		return nil, false, fmt.Errorf("storenet: acquire %s: %w", digest, err)
+	}
+	data, readErr := readBody(resp, maxControlBytes)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ar acquireResponse
+		if readErr == nil {
+			readErr = json.Unmarshal(data, &ar)
+		}
+		if readErr != nil {
+			// Granted but garbled: surface it; the orphan lease expires.
+			return nil, false, fmt.Errorf("storenet: acquire %s: %w", digest, readErr)
+		}
+		return &remoteLease{c: c, digest: digest, owner: owner, token: ar.Token, stolen: ar.Stolen}, true, nil
+	case http.StatusConflict:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("storenet: acquire %s: %s", digest, resp.Status)
+	}
+}
+
+// LeaseHolder peeks at a digest's live claim via the daemon.
+func (c *Client) LeaseHolder(digest string) (string, bool) {
+	resp, err := c.doIdempotent(http.MethodGet, c.leaseURL(digest, ""), nil)
+	if err != nil {
+		return "", false
+	}
+	data, readErr := readBody(resp, maxControlBytes)
+	var hr holderResponse
+	if resp.StatusCode != http.StatusOK || readErr != nil || json.Unmarshal(data, &hr) != nil {
+		return "", false
+	}
+	return hr.Owner, hr.Held
+}
+
+// GC runs a pass on the daemon's store — the shared tier the policy is
+// meant to bound. The local cache tier is bounded by its own owner
+// (it is an ordinary *store.Store).
+func (c *Client) GC(p store.GCPolicy) (store.GCStats, error) {
+	var gs store.GCStats
+	resp, err := c.doOnce(c.base+apiPrefix+"/gc", gcRequest{
+		MaxBytes: p.MaxBytes,
+		MaxAgeNs: int64(p.MaxAge),
+	})
+	if err != nil {
+		return gs, fmt.Errorf("storenet: gc: %w", err)
+	}
+	data, readErr := readBody(resp, maxControlBytes)
+	if resp.StatusCode != http.StatusOK {
+		return gs, fmt.Errorf("storenet: gc: %s", resp.Status)
+	}
+	if readErr == nil {
+		readErr = json.Unmarshal(data, &gs)
+	}
+	if readErr != nil {
+		return gs, fmt.Errorf("storenet: gc: %w", readErr)
+	}
+	return gs, nil
+}
+
+// remoteLease is a claim held through the daemon; the token is what the
+// daemon's stateless reattach verifies.
+type remoteLease struct {
+	c      *Client
+	digest string
+	owner  string
+	token  string
+	stolen bool
+}
+
+var _ store.LeaseHandle = (*remoteLease)(nil)
+
+func (l *remoteLease) Owner() string { return l.owner }
+func (l *remoteLease) Token() string { return l.token }
+func (l *remoteLease) Stolen() bool  { return l.stolen }
+
+// Renew extends the claim. Any failure — network, daemon restart mid
+// flight, a stealer holding the lease — reports the lease lost; the
+// holder keeps computing and at worst one peer duplicates the shard,
+// writing identical bytes.
+func (l *remoteLease) Renew(ttl time.Duration) error {
+	resp, err := l.c.doOnce(l.c.leaseURL(l.digest, "renew"),
+		renewRequest{Owner: l.owner, Token: l.token, TTLNs: int64(ttl)})
+	if err != nil {
+		return fmt.Errorf("storenet: renew %s: %w", l.digest, err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("storenet: renew %s: lease lost (%s)", l.digest, resp.Status)
+	}
+	return nil
+}
+
+// Release drops the claim, best-effort and idempotent.
+func (l *remoteLease) Release() error {
+	resp, err := l.c.doOnce(l.c.leaseURL(l.digest, "release"),
+		releaseRequest{Owner: l.owner, Token: l.token})
+	if err != nil {
+		return fmt.Errorf("storenet: release %s: %w", l.digest, err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("storenet: release %s: %s", l.digest, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package storenet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"golatest/internal/store"
+)
+
+// Server serves one *store.Store directory over the v1 HTTP API. It is
+// an http.Handler; cmd/stored wraps it in an http.Server, and tests
+// mount it on httptest. All handlers are safe for concurrent use — the
+// store itself is the synchronisation point, exactly as it is for local
+// processes sharing the directory.
+type Server struct {
+	st  *store.Store
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler for a store.
+func NewServer(st *store.Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET "+apiPrefix+"/blobs/{digest}", s.handleBlobGet) // matches HEAD too
+	s.mux.HandleFunc("PUT "+apiPrefix+"/blobs/{digest}", s.handleBlobPut)
+	s.mux.HandleFunc("GET "+apiPrefix+"/leases/{digest}", s.handleLeasePeek)
+	s.mux.HandleFunc("POST "+apiPrefix+"/leases/{digest}/acquire", s.handleLeaseAcquire)
+	s.mux.HandleFunc("POST "+apiPrefix+"/leases/{digest}/renew", s.handleLeaseRenew)
+	s.mux.HandleFunc("POST "+apiPrefix+"/leases/{digest}/release", s.handleLeaseRelease)
+	s.mux.HandleFunc("GET "+apiPrefix+"/index", s.handleIndex)
+	s.mux.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
+	s.mux.HandleFunc("POST "+apiPrefix+"/gc", s.handleGC)
+	s.mux.HandleFunc("/", s.handleUnknown)
+	return s
+}
+
+// Store returns the store the server fronts.
+func (s *Server) Store() *store.Store { return s.st }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// digest extracts and validates the {digest} path segment; an empty
+// return means the response has been written.
+func (s *Server) digest(w http.ResponseWriter, r *http.Request) string {
+	d := r.PathValue("digest")
+	if !digestRe.MatchString(d) {
+		http.Error(w, fmt.Sprintf("storenet: invalid digest %q", d), http.StatusBadRequest)
+		return ""
+	}
+	return d
+}
+
+// etagFor quotes a digest as the strong ETag of its (immutable) blob.
+func etagFor(digest string) string { return `"` + digest + `"` }
+
+// etagMatches implements the subset of If-None-Match matching the
+// immutable-blob contract needs: any listed tag equal to the blob's
+// (or a bare *) matches.
+func etagMatches(header, digest string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == "*" || part == etagFor(digest) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleBlobGet serves GET and HEAD. GET goes through the store's
+// validating read path (counters, LRU touch, corrupt-blob healing);
+// HEAD is the cheap existence probe Has maps to and deliberately
+// touches nothing.
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	digest := s.digest(w, r)
+	if digest == "" {
+		return
+	}
+	if r.Method == http.MethodHead {
+		if !s.st.Has(store.Key{Digest: digest}) {
+			http.Error(w, "storenet: no blob", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("ETag", etagFor(digest))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	// The read runs before any conditional answer: a 304 must vouch that
+	// the blob still exists, and a revalidation is a use — the LRU touch
+	// inside GetRaw has to advance, or watermark GC would evict the
+	// fleet's hottest (conditionally fetched) blobs first.
+	data, ok := s.st.GetRaw(digest)
+	if !ok {
+		http.Error(w, "storenet: no blob", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("ETag", etagFor(digest))
+	// Blobs are immutable per digest: a cached body that ever matched is
+	// still good.
+	if etagMatches(r.Header.Get("If-None-Match"), digest) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// handleBlobPut validates and stores a blob. Invalid bytes — garbage,
+// wrong schema, digest mismatch — are the client's fault (400);
+// anything else is the store's (500). PUT is idempotent: same digest ⇒
+// same bytes, so a retried or concurrent duplicate write converges.
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	digest := s.digest(w, r)
+	if digest == "" {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+	if err != nil {
+		http.Error(w, "storenet: read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.st.PutRaw(digest, data); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrInvalidBlob) {
+			code = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLeasePeek(w http.ResponseWriter, r *http.Request) {
+	digest := s.digest(w, r)
+	if digest == "" {
+		return
+	}
+	owner, held := s.st.LeaseHolder(digest)
+	writeJSON(w, http.StatusOK, holderResponse{Held: held, Owner: owner})
+}
+
+// handleLeaseAcquire is the compare-and-swap claim: exactly one caller
+// per digest wins (the store's O_EXCL file arbitrates, across local
+// processes and remote clients alike). Busy returns 409 with the live
+// holder so schedulers can plan around it.
+func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	digest := s.digest(w, r)
+	if digest == "" {
+		return
+	}
+	var req acquireRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Owner == "" || req.TTLNs <= 0 {
+		http.Error(w, "storenet: acquire needs a non-empty owner and a positive ttl_ns",
+			http.StatusBadRequest)
+		return
+	}
+	lease, ok, err := s.st.TryAcquire(digest, req.Owner, time.Duration(req.TTLNs))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		holder, _ := s.st.LeaseHolder(digest)
+		writeJSON(w, http.StatusConflict, busyResponse{Holder: holder})
+		return
+	}
+	writeJSON(w, http.StatusOK, acquireResponse{Token: lease.Token(), Stolen: lease.Stolen()})
+}
+
+// handleLeaseRenew reattaches the acquisition by its token and extends
+// it. Any failure is 409: whatever the proximate cause, the holder must
+// assume the lease lost — the safe direction, since a "lost" lease
+// costs at most one duplicated (identical) computation.
+func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	digest := s.digest(w, r)
+	if digest == "" {
+		return
+	}
+	var req renewRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Token == "" || req.TTLNs <= 0 {
+		http.Error(w, "storenet: renew needs a token and a positive ttl_ns", http.StatusBadRequest)
+		return
+	}
+	if err := s.st.AttachLease(digest, req.Owner, req.Token).Renew(time.Duration(req.TTLNs)); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleLeaseRelease drops a claim; like the local Release it is
+// best-effort and idempotent, and a stealer's live lease is never
+// touched (the token no longer matches).
+func (s *Server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	digest := s.digest(w, r)
+	if digest == "" {
+		return
+	}
+	var req releaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Token == "" {
+		http.Error(w, "storenet: release needs a token", http.StatusBadRequest)
+		return
+	}
+	if err := s.st.AttachLease(digest, req.Owner, req.Token).Release(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, indexResponse{
+		API:     APIVersion,
+		Schema:  store.SchemaVersion,
+		Entries: s.st.Index(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ix := s.st.Index()
+	writeJSON(w, http.StatusOK, statsResponse{
+		API:      APIVersion,
+		Schema:   store.SchemaVersion,
+		Blobs:    len(ix),
+		Bytes:    store.IndexedBytes(ix),
+		Counters: s.st.Counters(),
+	})
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	var req gcRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	stats, err := s.st.GC(store.GCPolicy{
+		MaxBytes: req.MaxBytes,
+		MaxAge:   time.Duration(req.MaxAgeNs),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleUnknown catches everything outside the versioned prefix, so a
+// client built against a future API fails with a message naming the
+// version this daemon speaks instead of a bare 404.
+func (s *Server) handleUnknown(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, fmt.Sprintf("storenet: unknown path %q; this daemon speaks API v%d (%s/...)",
+		r.URL.Path, APIVersion, apiPrefix), http.StatusNotFound)
+}
+
+// readJSON decodes a bounded control-plane body; a false return means
+// the 400 has been written.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBytes))
+	if err == nil && len(data) > 0 {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
+		http.Error(w, "storenet: bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

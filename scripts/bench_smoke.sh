@@ -58,6 +58,12 @@ END {
 	warm = ns["BenchmarkSuiteCampaignWarm"]
 	if (cold > 0 && warm > 0)
 		printf ",\n  \"store_warm_speedup\": %.2f", cold / warm
+	# Remote warm Get (stored daemon on loopback, cache-less client) vs
+	# cold compute: what the network store buys a cross-host fleet whose
+	# local tier is cold.
+	remote = ns["BenchmarkSuiteCampaignRemoteWarm"]
+	if (cold > 0 && remote > 0)
+		printf ",\n  \"remote_warm_speedup\": %.2f", cold / remote
 	# Journal vs whole-manifest-rewrite Put cost at 1k store entries:
 	# how much the append-only manifest log saves per write.
 	rewrite = ns["BenchmarkStorePutRewrite/entries=1024"]

@@ -3,10 +3,11 @@
 #
 #   ./scripts/ci.sh
 #
-# vet + build + tests, a race-detector pass over the concurrency-heavy
-# coordination packages (the store's journal/lease/GC machinery and the
-# fleet's cross-process claim loop), and the benchmark smoke that records
-# the performance trajectory in BENCH_campaign.json.
+# vet + build (including the stored daemon) + tests, a race-detector
+# pass over the concurrency-heavy coordination packages (the store's
+# journal/lease/GC machinery, the fleet's cross-process claim loop, and
+# the storenet daemon/client), and the benchmark smoke that records the
+# performance trajectory in BENCH_campaign.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +17,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go build cmd/stored =="
+go build -o /dev/null ./cmd/stored
+
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (store, fleet) =="
-go test -race ./internal/store/... ./internal/fleet/...
+echo "== go test -race (store, fleet, storenet) =="
+go test -race ./internal/store/... ./internal/fleet/... ./internal/storenet/... ./cmd/stored/...
 
 echo "== bench smoke =="
 ./scripts/bench_smoke.sh
