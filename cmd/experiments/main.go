@@ -9,6 +9,7 @@
 //	experiments [-scale quick|full] [-only <id>] [-out results/]
 //	            [-cache-dir DIR] [-store-url URL] [-no-cache]
 //	            [-fleet N] [-parallel N] [-lease-ttl D] [-owner ID]
+//	            [-shard-offset N|auto]
 //	            [-gc] [-max-store-bytes N] [-max-store-age D]
 //	            [-gc-watermark-bytes N]
 //
@@ -32,7 +33,12 @@
 // through an advisory store lease before computing it, so several
 // processes pointed at the same -cache-dir — or several hosts pointed
 // at the same -store-url — partition a sweep instead of duplicating it
-// (each still finishes with every result). -gc bounds the store after
+// (each still finishes with every result). -shard-offset starts this
+// host's sweeps at a different shard index (give host i of n offset
+// i*shards/n), so cooperating hosts claim disjoint ranges up front
+// instead of all racing for shard 0; -shard-offset auto derives the
+// start per sweep from the store's live lease and index state (the
+// fleet.Plan LeaseHolder view). -gc bounds the store after
 // the run: -max-store-bytes evicts least-recently-used blobs past the
 // size cap, -max-store-age evicts blobs idle longer than the bound, and
 // crash debris (orphaned temp files, expired leases) is swept either
@@ -48,6 +54,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -106,6 +113,7 @@ func run(args []string, out io.Writer) error {
 		fleetN    = fs.Int("fleet", 0, "concurrent whole campaigns in multi-unit sweeps (0 = one per CPU; results are identical at every setting)")
 		leaseTTL  = fs.Duration("lease-ttl", 0, "claim sweep shards via store leases so concurrent processes sharing -cache-dir partition the work; the TTL should exceed one campaign's runtime (0 = off)")
 		owner     = fs.String("owner", "", "lease owner id for -lease-ttl (default: derived from host and pid)")
+		shardOff  = fs.String("shard-offset", "", "start multi-unit sweeps at this shard index so cooperating hosts claim disjoint ranges (an integer, or 'auto' to derive it from the store's lease/index state; default 0)")
 		gc        = fs.Bool("gc", false, "after the run, garbage-collect the store per -max-store-bytes/-max-store-age and sweep crash debris")
 		maxBytes  = fs.Int64("max-store-bytes", 0, "with -gc: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
 		maxAge    = fs.Duration("max-store-age", 0, "with -gc: evict blobs not accessed for longer than this (0 = no age bound)")
@@ -154,10 +162,31 @@ func run(args []string, out io.Writer) error {
 		backend = client
 	}
 
+	shardOffset, autoOffset := 0, false
+	switch *shardOff {
+	case "":
+	case "auto":
+		autoOffset = true
+		// Auto mode consumes the fleet.Plan lease/index view, which the
+		// sweep only owns in lease mode; without -lease-ttl it would be
+		// silently inert — the offset stuck at 0, contention unchanged.
+		if *leaseTTL <= 0 {
+			return fmt.Errorf("-shard-offset auto requires -lease-ttl (the plan it consults is the lease-mode sweep's)")
+		}
+	default:
+		n, err := strconv.Atoi(*shardOff)
+		if err != nil {
+			return fmt.Errorf("-shard-offset %q: want an integer or 'auto'", *shardOff)
+		}
+		shardOffset = n
+	}
+
 	if backend == nil {
 		needsStore := ""
 		switch {
 		case *leaseTTL > 0:
+			// Covers -shard-offset auto too: auto already demanded
+			// -lease-ttl above, so this case is the one it reaches.
 			needsStore = "-lease-ttl"
 		case *gc:
 			needsStore = "-gc"
@@ -181,6 +210,8 @@ func run(args []string, out io.Writer) error {
 		LeaseTTL:         *leaseTTL,
 		LeaseOwner:       *owner,
 		GCWatermarkBytes: *watermark,
+		ShardOffset:      shardOffset,
+		AutoShardOffset:  autoOffset,
 	})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	stored -dir DIR [-addr HOST:PORT]
+//	stored -dir DIR [-addr HOST:PORT] [-stats-every D]
 //	       [-gc-every D] [-gc-watermark-bytes N] [-max-store-age D]
 //
 // The directory is an ordinary internal/store directory: local
@@ -17,6 +17,10 @@
 // background: every period it evicts least-recently-used blobs past
 // -gc-watermark-bytes and blobs idle longer than -max-store-age, and
 // sweeps crash debris (orphaned staging files, expired leases).
+// With -stats-every, the daemon periodically logs one /v1/stats-backed
+// line — blob count, on-disk and raw bytes with the compression ratio,
+// traffic counters, and lease churn — so fleet health is visible from
+// the daemon's log without shelling into the store host.
 //
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight
 // requests first. State lives entirely in the store directory, so a
@@ -59,12 +63,14 @@ func main() {
 // daemon is one configured stored instance; split from main so tests
 // drive it against a loopback listener and a cancellable context.
 type daemon struct {
-	st      *store.Store
-	ln      net.Listener
-	gcEvery time.Duration
-	policy  store.GCPolicy
+	st         *store.Store
+	srv        *storenet.Server
+	ln         net.Listener
+	gcEvery    time.Duration
+	statsEvery time.Duration
+	policy     store.GCPolicy
 
-	mu  sync.Mutex // serializes log lines (the GC loop runs concurrently)
+	mu  sync.Mutex // serializes log lines (the GC/stats loops run concurrently)
 	out io.Writer
 }
 
@@ -75,11 +81,12 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 	fs := flag.NewFlagSet("stored", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		dir       = fs.String("dir", "", "store directory to serve (required; created if missing)")
-		addr      = fs.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port; the chosen address is printed)")
-		gcEvery   = fs.Duration("gc-every", 0, "period of the background GC pass over the served store (0 = no background GC)")
-		watermark = fs.Int64("gc-watermark-bytes", 0, "with -gc-every: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
-		maxAge    = fs.Duration("max-store-age", 0, "with -gc-every: evict blobs not accessed for longer than this (0 = no age bound)")
+		dir        = fs.String("dir", "", "store directory to serve (required; created if missing)")
+		addr       = fs.String("addr", "127.0.0.1:8417", "listen address (use :0 for an ephemeral port; the chosen address is printed)")
+		gcEvery    = fs.Duration("gc-every", 0, "period of the background GC pass over the served store (0 = no background GC)")
+		watermark  = fs.Int64("gc-watermark-bytes", 0, "with -gc-every: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
+		maxAge     = fs.Duration("max-store-age", 0, "with -gc-every: evict blobs not accessed for longer than this (0 = no age bound)")
+		statsEvery = fs.Duration("stats-every", 0, "period of the stats log line (blobs, bytes, compression ratio, traffic, lease churn; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -99,11 +106,13 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		return nil, err
 	}
 	return &daemon{
-		st:      st,
-		ln:      ln,
-		gcEvery: *gcEvery,
-		policy:  store.GCPolicy{MaxBytes: *watermark, MaxAge: *maxAge},
-		out:     out,
+		st:         st,
+		srv:        storenet.NewServer(st),
+		ln:         ln,
+		gcEvery:    *gcEvery,
+		statsEvery: *statsEvery,
+		policy:     store.GCPolicy{MaxBytes: *watermark, MaxAge: *maxAge},
+		out:        out,
 	}, nil
 }
 
@@ -119,11 +128,14 @@ func (d *daemon) logf(format string, args ...any) {
 // serve runs the daemon until the context is cancelled, then drains
 // in-flight requests and returns nil.
 func (d *daemon) serve(ctx context.Context) error {
-	srv := &http.Server{Handler: storenet.NewServer(d.st)}
+	srv := &http.Server{Handler: d.srv}
 	d.logf("stored: serving %s at %s (api v%d, %d blobs)\n",
 		d.st.Dir(), d.URL(), storenet.APIVersion, d.st.Len())
 	if d.gcEvery > 0 {
 		go d.gcLoop(ctx)
+	}
+	if d.statsEvery > 0 {
+		go d.statsLoop(ctx)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(d.ln) }()
@@ -138,6 +150,32 @@ func (d *daemon) serve(ctx context.Context) error {
 	case err := <-errc:
 		return err
 	}
+}
+
+// statsLoop logs one store-health line per period: what an operator
+// would otherwise curl from /v1/stats, in the daemon's own log.
+func (d *daemon) statsLoop(ctx context.Context) {
+	t := time.NewTicker(d.statsEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.logStats()
+		}
+	}
+}
+
+// logStats emits the periodic health line — the /v1/stats snapshot,
+// formatted (storenet.Server.Stats is the single assembly point).
+func (d *daemon) logStats() {
+	st := d.srv.Stats()
+	c, ls := st.Counters, st.Leases
+	d.logf("stored: stats: %d blobs, %d bytes (%d raw, %.1fx), %d hits %d misses %d puts %d corrupt, leases %d acquired (%d stolen) %d busy %d renewed %d released\n",
+		st.Blobs, st.Bytes, st.RawBytes, st.CompressionRatio,
+		c.Hits, c.Misses, c.Puts, c.Corrupt,
+		ls.Acquired, ls.Stolen, ls.Busy, ls.Renewed, ls.Released)
 }
 
 // gcLoop applies the daemon's GC policy on a timer. Every pass at least

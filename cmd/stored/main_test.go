@@ -147,3 +147,40 @@ func TestDaemonFlagValidation(t *testing.T) {
 		t.Error("bogus -addr accepted")
 	}
 }
+
+// TestDaemonStatsLine: with -stats-every the daemon periodically logs
+// the /v1/stats view — blobs, compressed vs raw bytes, traffic, lease
+// churn — without any client asking for it.
+func TestDaemonStatsLine(t *testing.T) {
+	dir := t.TempDir()
+	d, out, stop := startDaemon(t, "-dir", dir, "-addr", "127.0.0.1:0", "-stats-every", "10ms")
+	defer stop()
+
+	c, err := storenet.NewClient(d.URL(), storenet.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := store.KeyFor("a100", 0, 42, core.Config{Frequencies: []float64{705}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.TryAcquire(k.Digest, "host-a", time.Minute); err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s := out.String()
+		if strings.Contains(s, "stored: stats: 1 blobs") &&
+			strings.Contains(s, "1 puts") && strings.Contains(s, "1 acquired") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no stats line with blob/put/lease counts:\n%s", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -88,6 +88,19 @@ type Options struct {
 	// blobs exceed the watermark, one GC pass evicts least-recently-used
 	// blobs back under it. Zero leaves GC manual.
 	GCWatermarkBytes int64
+	// ShardOffset starts every multi-unit sweep at this shard index
+	// (mod the shard count): cooperating processes given disjoint
+	// offsets claim disjoint ranges up front instead of all racing for
+	// shard 0. Results are identical at every offset.
+	ShardOffset int
+	// AutoShardOffset derives the offset per sweep from the store's
+	// live lease/index state: the sweep starts at the first shard that
+	// is neither cached nor claimed by a live peer. Overrides
+	// ShardOffset when such a shard exists. Effective only in lease
+	// mode (Store + LeaseTTL) — that is the only mode in which the
+	// fleet sweep owns the store whose plan it consults; outside it the
+	// offset stays at ShardOffset.
+	AutoShardOffset bool
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
@@ -308,7 +321,11 @@ func (s *Suite) CampaignByKey(key string) (*core.Result, error) {
 // would double-book the store traffic). Later Campaign calls for the
 // same profiles are store hits.
 func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
-	fo := fleet.Options{Replicas: s.opts.FleetReplicas}
+	fo := fleet.Options{
+		Replicas:        s.opts.FleetReplicas,
+		ShardOffset:     s.opts.ShardOffset,
+		AutoShardOffset: s.opts.AutoShardOffset,
+	}
 	if s.opts.Store != nil && s.opts.LeaseTTL > 0 {
 		fo.Store = s.opts.Store
 		fo.Config = s.campaignConfig

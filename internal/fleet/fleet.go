@@ -103,6 +103,26 @@ type Options struct {
 	// Report.GC carries the pass's stats when one ran. Zero leaves GC
 	// manual.
 	GCWatermarkBytes int64
+
+	// ShardOffset rotates the order workers visit shards: the sweep
+	// starts at shard index ShardOffset (mod the shard count) and wraps.
+	// Cooperating processes given disjoint offsets (host i of n starts
+	// at i*shards/n) claim disjoint ranges up front, cutting lease
+	// contention — the waits and steals of everyone racing for shard 0 —
+	// from O(shards) to near zero. Purely a scheduling hint: results,
+	// resumability, and the claim/wait/steal safety net are identical at
+	// every offset.
+	ShardOffset int
+
+	// AutoShardOffset (requires Store) derives the offset from the
+	// store's live state instead: one Plan pass finds the first shard
+	// that is neither cached nor claimed by a live holder, and the sweep
+	// starts there — a host joining mid-sweep skips past the ranges its
+	// peers are already computing. Racy by nature (peers move between
+	// the plan and the first claim), which is fine: the claim loop still
+	// arbitrates correctness. Overrides ShardOffset when it finds a
+	// starting point.
+	AutoShardOffset bool
 }
 
 func (o Options) replicas(shards int) int {
@@ -143,6 +163,9 @@ type Report struct {
 	// actually run. Hits + Computed can be less than len(Shards) when an
 	// aborted sweep left shards unreached.
 	Hits, Computed int
+	// ShardOffset is the starting index the sweep actually used —
+	// Options.ShardOffset normalised, or the auto-derived one.
+	ShardOffset int
 	// Contention counters, populated in lease mode: Claimed counts
 	// leases this sweep acquired, Waited counts shards it resolved by
 	// waiting on a peer's claim, Stolen counts expired leases it took
@@ -277,6 +300,8 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 		sw.owner = defaultOwner()
 	}
 
+	offset := shardOffset(profiles, opts)
+	rep.ShardOffset = offset
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
@@ -290,7 +315,7 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 				if i >= len(profiles) || sw.failed.Load() {
 					return
 				}
-				sh := &rep.Shards[i]
+				sh := &rep.Shards[(i+offset)%len(profiles)]
 				if err := sw.runShard(sh); err != nil {
 					if errors.Is(err, errAborted) {
 						return // unreached, not failed
@@ -331,6 +356,33 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 		}
 	}
 	return rep, shardErr
+}
+
+// shardOffset resolves the starting index of a sweep's shard walk:
+// the explicit Options.ShardOffset normalised into [0, n), or — in
+// auto mode — the first shard the store shows as neither cached nor
+// claimed by a live peer. Auto failures (a degraded remote Index, a
+// key error) fall back to the explicit offset: scheduling is a hint,
+// never a gate.
+func shardOffset(profiles []hwprofile.Profile, opts Options) int {
+	n := len(profiles)
+	if n == 0 {
+		return 0
+	}
+	offset := ((opts.ShardOffset % n) + n) % n
+	if !opts.AutoShardOffset || opts.Store == nil {
+		return offset
+	}
+	plans, err := Plan(profiles, opts)
+	if err != nil {
+		return offset
+	}
+	for i, p := range plans {
+		if !p.Cached && p.LeaseHolder == "" {
+			return i
+		}
+	}
+	return offset
 }
 
 // GCAtWatermark runs one size-bounded GC pass when the store's indexed

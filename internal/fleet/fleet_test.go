@@ -541,3 +541,117 @@ func TestSweepWatermarkGC(t *testing.T) {
 		t.Fatalf("store len = %d, want %d", st.Len(), len(profiles))
 	}
 }
+
+// TestSweepShardOffsetRotation: an explicit offset changes only the
+// order shards are visited — every shard still resolves into its own
+// report slot, and negative/oversized offsets normalise into range.
+func TestSweepShardOffsetRotation(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := testProfiles(4)
+	var calls atomic.Int64
+	rep, err := Sweep(profiles, Options{
+		Replicas: 1, Store: st, Config: testConfig, Run: fakeRun(&calls),
+		ShardOffset: -3, // ≡ 1 mod 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShardOffset != 1 {
+		t.Fatalf("ShardOffset = %d, want -3 normalised to 1", rep.ShardOffset)
+	}
+	if calls.Load() != 4 || rep.Computed != 4 {
+		t.Fatalf("calls=%d computed=%d, want all 4 shards computed", calls.Load(), rep.Computed)
+	}
+	for i, sh := range rep.Shards {
+		if sh.Result == nil || sh.Profile.Instance != i {
+			t.Fatalf("shard %d misplaced or empty: %+v", i, sh)
+		}
+		if want := fmt.Sprintf("a100[%d]", i); sh.Result.DeviceName != want {
+			t.Fatalf("shard %d result = %q, want %q (rotation scrambled shard identity)",
+				i, sh.Result.DeviceName, want)
+		}
+	}
+}
+
+// TestAutoShardOffsetCutsContention is the lease-holder-aware
+// scheduling contract: a sweep that starts while a peer holds shard
+// 0's lease either piles onto that claim (naive order — it waits) or,
+// with AutoShardOffset, consults the plan and starts past the claimed
+// range, finding the peer's result already landed by the time it wraps
+// around — Waited and Stolen drop to zero.
+func TestAutoShardOffsetCutsContention(t *testing.T) {
+	sweepAgainstPeer := func(auto bool) *Report {
+		t.Helper()
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles := testProfiles(3)
+		k0 := mustProfileKey(t, profiles[0])
+		lease, ok, err := st.TryAcquire(k0.Digest, "peer", time.Minute)
+		if err != nil || !ok {
+			t.Fatalf("peer claim: ok=%v err=%v", ok, err)
+		}
+		// The peer finishes its shard 40 ms in; the sweep's own shards
+		// take 50 ms each, so an offset sweep reaches shard 0 at ~100 ms
+		// — long after the peer's result landed — while a naive sweep
+		// hits the live claim immediately and must wait.
+		peerDone := make(chan struct{})
+		go func() {
+			defer close(peerDone)
+			time.Sleep(40 * time.Millisecond)
+			if err := st.Put(k0, &core.Result{DeviceName: "a100[0]"}); err != nil {
+				t.Error(err)
+			}
+			_ = lease.Release()
+		}()
+		var calls atomic.Int64
+		inner := fakeRun(&calls)
+		rep, err := Sweep(profiles, Options{
+			Replicas: 1,
+			Store:    st,
+			Config:   testConfig,
+			Run: func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+				time.Sleep(50 * time.Millisecond)
+				return inner(p, cfg)
+			},
+			LeaseTTL:        time.Minute,
+			Owner:           "sweeper",
+			WaitPoll:        time.Millisecond,
+			AutoShardOffset: auto,
+		})
+		<-peerDone
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sh := range rep.Shards {
+			if sh.Result == nil {
+				t.Fatalf("shard %d unresolved", i)
+			}
+		}
+		return rep
+	}
+
+	naive := sweepAgainstPeer(false)
+	if naive.ShardOffset != 0 {
+		t.Fatalf("naive ShardOffset = %d, want 0", naive.ShardOffset)
+	}
+	if naive.Waited == 0 {
+		t.Fatal("naive order never waited on the peer's claim; the baseline shows no contention to cut")
+	}
+
+	auto := sweepAgainstPeer(true)
+	if auto.ShardOffset != 1 {
+		t.Fatalf("auto ShardOffset = %d, want 1 (first unclaimed, uncached shard)", auto.ShardOffset)
+	}
+	if auto.Waited != 0 || auto.Stolen != 0 {
+		t.Fatalf("auto-offset sweep still contended: waited=%d stolen=%d (naive waited=%d)",
+			auto.Waited, auto.Stolen, naive.Waited)
+	}
+	if auto.Hits != 1 || auto.Computed != 2 {
+		t.Fatalf("auto sweep: hits=%d computed=%d, want the peer's shard served as a hit", auto.Hits, auto.Computed)
+	}
+}

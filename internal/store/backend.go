@@ -76,13 +76,26 @@ var (
 	_ LeaseHandle = (*Lease)(nil)
 )
 
-// IndexedBytes sums the recorded blob sizes of an index listing — the
-// cheap store-size estimate watermark checks use (recorded sizes can
-// lag the filesystem briefly; GC itself re-stats every blob).
+// IndexedBytes sums the recorded on-disk blob sizes of an index
+// listing — the cheap store-size estimate watermark checks use
+// (recorded sizes can lag the filesystem briefly; GC itself re-stats
+// every blob).
 func IndexedBytes(entries []ManifestEntry) int64 {
 	var total int64
 	for _, e := range entries {
 		total += e.Bytes
+	}
+	return total
+}
+
+// IndexedRawBytes sums the recorded canonical (uncompressed) envelope
+// sizes; against IndexedBytes it yields the store's live compression
+// ratio without reading a single blob. Entries indexed before the v2
+// container (no recorded raw size) contribute zero.
+func IndexedRawBytes(entries []ManifestEntry) int64 {
+	var total int64
+	for _, e := range entries {
+		total += e.RawBytes
 	}
 	return total
 }

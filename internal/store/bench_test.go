@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"golatest/internal/core"
@@ -107,6 +108,90 @@ func BenchmarkStoreGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := s.Get(k); !ok {
 			b.Fatal("miss")
+		}
+	}
+}
+
+// codecResult is a mid-sized synthetic campaign (20 pairs × 30
+// measurements) so the codec benchmarks exercise realistic array
+// shapes rather than the tiny index-benchmark result.
+func codecResult() *core.Result {
+	res := &core.Result{DeviceName: "bench", Architecture: "Ampere"}
+	for p := 0; p < 20; p++ {
+		pr := &core.PairResult{
+			Pair:     core.Pair{InitMHz: 705 + float64(15*p), TargetMHz: 1410 - float64(15*p)},
+			Attempts: 30,
+		}
+		for m := 0; m < 30; m++ {
+			lat := 0.1 + float64(p)*0.01 + float64(m)*0.000123456789
+			pr.Measurements = append(pr.Measurements, core.Measurement{
+				Pair:      pr.Pair,
+				LatencyMs: lat,
+				TsDevNs:   int64(1_000_000 * m),
+				TeDevNs:   int64(1_000_000*m) + int64(lat*1e6),
+				SM:        m % 108,
+			})
+			pr.Samples = append(pr.Samples, lat)
+			pr.Kept = append(pr.Kept, lat)
+		}
+		res.Pairs = append(res.Pairs, pr)
+	}
+	return res
+}
+
+// BenchmarkBlobEncode measures the streaming Put-path encode: result →
+// JSON → pooled gzip, no full-buffer materialisation.
+func BenchmarkBlobEncode(b *testing.B) {
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := codecResult()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeBlobTo(io.Discard, k, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlobDecode measures the warm-path decode of the v2
+// container (pooled gzip reader inflating into a pooled scratch buffer
+// ahead of the JSON parse) — BenchmarkBlobDecodeV1 is the same payload
+// in the legacy plain container, for the migration-era comparison.
+func BenchmarkBlobDecode(b *testing.B) {
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := EncodeBlobCompressed(k, codecResult())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateBlob(data, k.Digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobDecodeV1(b *testing.B) {
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := EncodeBlob(k, codecResult())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateBlob(data, k.Digest); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,12 +1,17 @@
 package store
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strconv"
+	"sync"
+	"unsafe"
 
 	"golatest/internal/cluster"
 	"golatest/internal/core"
@@ -35,52 +40,78 @@ func (f f64) MarshalJSON() ([]byte, error) {
 	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
 }
 
+// UnmarshalJSON parses the element directly (strconv, literal
+// comparisons) rather than recursing into json.Unmarshal: a blob holds
+// thousands of f64 elements, and a nested Unmarshal per element — with
+// its own scanner state — used to dominate the warm-path alloc count.
 func (f *f64) UnmarshalJSON(data []byte) error {
 	if len(data) > 0 && data[0] == '"' {
-		var s string
-		if err := json.Unmarshal(data, &s); err != nil {
-			return err
-		}
-		switch s {
-		case "NaN":
+		switch string(data) {
+		case `"NaN"`:
 			*f = f64(math.NaN())
-		case "+Inf":
+		case `"+Inf"`:
 			*f = f64(math.Inf(1))
-		case "-Inf":
+		case `"-Inf"`:
 			*f = f64(math.Inf(-1))
 		default:
-			return fmt.Errorf("store: invalid float string %q", s)
+			// Slow path for escaped spellings (e.g. "NaN") a
+			// foreign encoder might emit; the canonical encoder never
+			// does, so this allocates only on alien blobs.
+			var s string
+			if err := json.Unmarshal(data, &s); err != nil {
+				return err
+			}
+			switch s {
+			case "NaN":
+				*f = f64(math.NaN())
+			case "+Inf":
+				*f = f64(math.Inf(1))
+			case "-Inf":
+				*f = f64(math.Inf(-1))
+			default:
+				return fmt.Errorf("store: invalid float string %q", s)
+			}
 		}
 		return nil
 	}
-	var v float64
-	if err := json.Unmarshal(data, &v); err != nil {
-		return err
+	if string(data) == "null" {
+		return nil // the json.Unmarshaler convention: null is a no-op
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("store: invalid float %s: %w", data, err)
 	}
 	*f = f64(v)
 	return nil
 }
 
+// toF64s and fromF64s reinterpret a slice between float64 and f64
+// without copying. f64 is a defined type whose underlying type is
+// float64, so the two element layouts are identical by the language
+// spec; only the method set (the JSON codec) differs. Copy-free
+// conversion is safe in both directions here: the encoder only reads
+// the aliased memory, and the decoder hands over slices that
+// encoding/json freshly allocated and nothing else references. The
+// nil/empty distinction is preserved explicitly because the canonical
+// encoding distinguishes null from [].
 func toF64s(xs []float64) []f64 {
 	if xs == nil {
 		return nil
 	}
-	out := make([]f64, len(xs))
-	for i, x := range xs {
-		out[i] = f64(x)
+	if len(xs) == 0 {
+		return []f64{}
 	}
-	return out
+	return unsafe.Slice((*f64)(unsafe.Pointer(&xs[0])), len(xs))
 }
 
 func fromF64s(xs []f64) []float64 {
 	if xs == nil {
 		return nil
 	}
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = float64(x)
+	if len(xs) == 0 {
+		return []float64{}
 	}
-	return out
+	return unsafe.Slice((*float64)(unsafe.Pointer(&xs[0])), len(xs))
 }
 
 // The stored* types below are the on-disk schema, deliberately decoupled
@@ -329,67 +360,308 @@ func decodeResult(sr storedResult) *core.Result {
 }
 
 // ErrInvalidBlob marks bytes that are not a valid blob for the digest
-// they were presented under: unparseable JSON, a foreign schema
-// version, or a digest mismatch. It distinguishes "these bytes are
-// garbage" (reject, recompute) from I/O failures; the network daemon
-// maps it to 400 Bad Request.
+// they were presented under: unparseable JSON, a broken or truncated
+// compressed stream, a foreign schema version, or a digest mismatch. It
+// distinguishes "these bytes are garbage" (reject, recompute) from I/O
+// failures; the network daemon maps it to 400 Bad Request.
 var ErrInvalidBlob = errors.New("invalid blob")
 
-// encodeBlob renders the versioned on-disk form of a campaign result.
-func encodeBlob(k Key, res *core.Result) ([]byte, error) {
-	b := storedBlob{
+// Blob container formats. The canonical envelope — the storedBlob JSON
+// above, which the digest/ETag contract and SchemaVersion govern — is
+// unchanged since v1; what changed in v2 is only the container those
+// canonical bytes travel and rest in:
+//
+//	v1: the canonical JSON bytes, verbatim (plain, uncompressed)
+//	v2: gzip(canonical JSON bytes)
+//
+// The two are distinguished by the gzip magic (0x1f 0x8b): the
+// canonical envelope always starts with '{', so the first two bytes
+// decide the container unambiguously. Readers accept both; writers
+// emit v2. Because the inner envelope — and therefore everything the
+// digest covers — is identical, introducing v2 did NOT bump
+// SchemaVersion (the same reasoning that kept the manifest journal at
+// schema 1: the campaign payload contract is untouched), which is what
+// makes the v1 → v2 migration transparent: a v1 blob still matches its
+// digest, still validates, and is re-written as v2 the first time it
+// is read.
+const (
+	gzipMagic0 = 0x1f
+	gzipMagic1 = 0x8b
+)
+
+// IsGzipBlob sniffs the container format of raw blob bytes — the one
+// discriminator both the store codec and the network layer use, so the
+// two can never classify a blob differently.
+func IsGzipBlob(data []byte) bool {
+	return len(data) >= 2 && data[0] == gzipMagic0 && data[1] == gzipMagic1
+}
+
+// gzipBlobLevel is the compression level of every v2 container this
+// process writes. One fixed level keeps the bytes deterministic (equal
+// key ⇒ equal result ⇒ equal canonical bytes ⇒ equal compressed bytes
+// for writers of the same build), so idempotent duplicate Puts still
+// converge byte-for-byte. DefaultCompression trades a few extra ms on
+// the (compute-dominated) cold path for the best ratio on the warm
+// paths every later read and transfer pays.
+const gzipBlobLevel = gzip.DefaultCompression
+
+// Codec pools: encode/decode run on every warm store hit and every
+// wire transfer, so the gzip state machines (~hundreds of KB each) and
+// the sniff readers are recycled instead of reallocated per call.
+var (
+	gzipWriters = sync.Pool{New: func() any {
+		w, _ := gzip.NewWriterLevel(io.Discard, gzipBlobLevel)
+		return w
+	}}
+	gzipReaders = sync.Pool{New: func() any { return new(gzip.Reader) }}
+	// decodeBufs holds the canonical bytes between inflation and the
+	// JSON parse. Safe to recycle immediately after Unmarshal —
+	// encoding/json copies every string out of its input — and it is
+	// what keeps a warm Get's allocation cost at the compressed size,
+	// not the canonical one.
+	decodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// maxCanonicalBytes bounds how far a compressed container may inflate —
+// the canonical form of a full-scale campaign blob is low megabytes, so
+// 256 MiB is a safety rail, not a working limit. Without it a crafted
+// gzip bomb (deflate approaches 1032:1) arriving through PutRaw or a
+// client Get body would balloon a bounded compressed payload into
+// gigabytes of decode buffer. A variable so the bomb test does not have
+// to inflate 256 MiB to cross it.
+var maxCanonicalBytes int64 = 256 << 20
+
+// maxPooledDecodeBuf caps the scratch buffers decodeBufs retains; a
+// pathological blob's oversized buffer is dropped for GC instead of
+// pinning its memory in the pool forever.
+const maxPooledDecodeBuf = 8 << 20
+
+func putDecodeBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledDecodeBuf {
+		decodeBufs.Put(buf)
+	}
+}
+
+// countingWriter measures the byte stream passing through it, so Put
+// can record both the canonical and the compressed size without ever
+// materialising either.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// encodeEnvelope renders the canonical envelope JSON. The encoding is
+// json.MarshalIndent, unchanged since v1 — pre-container blobs carry
+// exactly these bytes, which is what lets healV1 (compress the legacy
+// bytes verbatim) and a fresh Put of the same key converge on
+// identical v2 containers. (json.Encoder would append a trailing
+// newline and fork the byte stream per writer generation; encoding/
+// json offers no truly streaming marshal either way — the canonical
+// bytes exist once, transiently, inside any encoder.)
+func encodeEnvelope(k Key, res *core.Result) ([]byte, error) {
+	data, err := json.MarshalIndent(&storedBlob{
 		Schema:   SchemaVersion,
 		Digest:   k.Digest,
 		Profile:  k.Profile,
 		Instance: k.Instance,
 		Result:   encodeResult(res),
+	}, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %s: %w", k, err)
 	}
-	return json.MarshalIndent(b, "", " ")
+	return data, nil
 }
 
-// EncodeBlob renders the canonical wire/disk bytes of a campaign result
-// under its key — the payload the network layer ships verbatim. Equal
-// key ⇒ equal result ⇒ equal bytes, which is what makes a blob
-// immutable for its digest (the ETag contract).
+// encodeBlobTo writes the v2 container of a campaign result straight
+// into w (typically the atomic-rename staging file or a network body):
+// canonical JSON → pooled gzip writer → w. The compressed bytes are
+// never materialised — they stream into w as the writer flushes — and
+// the transient canonical buffer is the unavoidable cost of
+// encoding/json (tracked as an open item). Returns the canonical size
+// for the index's RawBytes.
+func encodeBlobTo(w io.Writer, k Key, res *core.Result) (int64, error) {
+	data, err := encodeEnvelope(k, res)
+	if err != nil {
+		return 0, err
+	}
+	if err := gzipTo(w, data); err != nil {
+		return int64(len(data)), fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	return int64(len(data)), nil
+}
+
+// gzipTo deflates data into w through the writer pool — the one
+// deflate block both the encode path and the v1-heal compression use.
+func gzipTo(w io.Writer, data []byte) error {
+	gz := gzipWriters.Get().(*gzip.Writer)
+	gz.Reset(w)
+	_, werr := gz.Write(data)
+	cerr := gz.Close() // flushes; the pooled writer is reusable after Reset
+	gzipWriters.Put(gz)
+	if werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// EncodeBlob renders the canonical (uncompressed) bytes of a campaign
+// result under its key — the bytes the digest/ETag contract vouches
+// for and that validation is defined over. Equal key ⇒ equal result ⇒
+// equal bytes, which is what makes a blob immutable for its digest.
+// Storage and the wire carry these bytes inside the v2 container; see
+// EncodeBlobCompressed.
 func EncodeBlob(k Key, res *core.Result) ([]byte, error) {
-	return encodeBlob(k, res)
+	return encodeEnvelope(k, res)
 }
 
-// parseBlob validates data against the digest it is stored (or
-// addressed) under and returns the envelope. Any mismatch — garbage
-// JSON, schema drift, a blob renamed onto the wrong digest, a truncated
-// body — wraps ErrInvalidBlob; callers treat it as a cache miss and
-// recompute.
-func parseBlob(data []byte, digest string) (*storedBlob, error) {
-	var b storedBlob
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("store: blob %s: %w: %v", digest, ErrInvalidBlob, err)
+// EncodeBlobCompressed renders the v2 container — gzip around the
+// canonical bytes — that Put writes to disk and the network client
+// ships. Deterministic for a given key and build (fixed gzip level, no
+// gzip header metadata), so concurrent identical writers converge.
+func EncodeBlobCompressed(k Key, res *core.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := encodeBlobTo(&buf, k, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteCanonical writes a blob's canonical bytes into w: identity
+// container bytes pass through verbatim, a v2 container is inflated
+// through the codec's pooled readers under the usual canonical-size
+// rail. The network daemon uses it to serve identity-only clients from
+// the compressed disk bytes without growing its own inflate machinery.
+func WriteCanonical(w io.Writer, data []byte) error {
+	if !IsGzipBlob(data) {
+		_, err := w.Write(data)
+		return err
+	}
+	r := bytes.NewReader(data)
+	gz := gzipReaders.Get().(*gzip.Reader)
+	if err := gz.Reset(r); err != nil {
+		gzipReaders.Put(gz)
+		return fmt.Errorf("store: inflate blob: %w", err)
+	}
+	gz.Multistream(false)
+	buf := copyBufs.Get().(*[]byte)
+	_, err := io.CopyBuffer(w, io.LimitReader(gz, maxCanonicalBytes), *buf)
+	copyBufs.Put(buf)
+	gz.Close()
+	gzipReaders.Put(gz)
+	if err != nil {
+		return fmt.Errorf("store: inflate blob: %w", err)
+	}
+	return nil
+}
+
+// copyBufs holds WriteCanonical's copy scratch.
+var copyBufs = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+
+// compressBlobBytes wraps already-canonical blob bytes in the v2
+// container — the migration path that heals a v1 blob without
+// re-encoding its payload.
+func compressBlobBytes(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(data) / 3)
+	if err := gzipTo(&buf, data); err != nil {
+		return nil, fmt.Errorf("store: compress blob: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// parseBlob validates blob bytes in either container format against
+// the digest they are stored (or addressed) under and returns the
+// envelope plus the canonical byte count. A compressed container is
+// inflated through a pooled gzip reader into a pooled scratch buffer —
+// the full inflate-before-parse is what verifies the gzip CRC, so a
+// truncated or bit-flipped stream whose prefix still deflates can
+// never be served — and the JSON parse runs over that recycled buffer,
+// keeping a warm decode's allocations proportional to the compressed
+// size. Any mismatch — garbage JSON, a broken gzip stream or checksum,
+// schema drift, a blob renamed onto the wrong digest, a truncated
+// body, trailing garbage — wraps ErrInvalidBlob; callers treat it as a
+// cache miss and recompute.
+func parseBlob(data []byte, digest string) (b *storedBlob, rawBytes int64, compressed bool, err error) {
+	invalid := func(cause error) error {
+		return fmt.Errorf("store: blob %s: %w: %v", digest, ErrInvalidBlob, cause)
+	}
+	canonical := data
+	if IsGzipBlob(data) {
+		compressed = true
+		r := bytes.NewReader(data)
+		gz := gzipReaders.Get().(*gzip.Reader)
+		if rerr := gz.Reset(r); rerr != nil {
+			gzipReaders.Put(gz)
+			return nil, 0, true, invalid(rerr)
+		}
+		// Single-member containers only: in (the default) multistream
+		// mode a second concatenated gzip member would be transparently
+		// appended, letting arbitrary padding hide behind a valid
+		// digest and breaking the container's byte determinism.
+		gz.Multistream(false)
+		buf := decodeBufs.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer putDecodeBuf(buf)
+		// ReadFrom drains the member to EOF, which forces the gzip
+		// footer read and its CRC check. The limit turns a
+		// decompression bomb into an invalid blob instead of an
+		// allocation storm.
+		_, rerr := buf.ReadFrom(io.LimitReader(gz, maxCanonicalBytes+1))
+		gz.Close()
+		gzipReaders.Put(gz)
+		if rerr != nil {
+			return nil, 0, true, invalid(rerr)
+		}
+		if int64(buf.Len()) > maxCanonicalBytes {
+			return nil, 0, true, invalid(fmt.Errorf("inflates past %d bytes", maxCanonicalBytes))
+		}
+		// flate never reads past the final block and gzip reads exactly
+		// the 8-byte trailer, so whatever remains in r is trailing data
+		// after the container — reject it.
+		if r.Len() != 0 {
+			return nil, 0, true, invalid(fmt.Errorf("%d trailing bytes after container", r.Len()))
+		}
+		canonical = buf.Bytes()
+	}
+	rawBytes = int64(len(canonical))
+	// The identity container honours the same rail: an oversized plain
+	// blob accepted here would be compressed on the way down and then
+	// trip the inflate limit on every read — the store-then-self-delete
+	// loop Put also refuses.
+	if rawBytes > maxCanonicalBytes {
+		return nil, rawBytes, compressed, invalid(fmt.Errorf("canonical size %d exceeds the %d-byte bound",
+			rawBytes, maxCanonicalBytes))
+	}
+	b = new(storedBlob)
+	if derr := json.Unmarshal(canonical, b); derr != nil {
+		return nil, rawBytes, compressed, invalid(derr)
 	}
 	if b.Schema != SchemaVersion {
-		return nil, fmt.Errorf("store: blob %s: %w: schema %d, want %d",
+		return nil, rawBytes, compressed, fmt.Errorf("store: blob %s: %w: schema %d, want %d",
 			digest, ErrInvalidBlob, b.Schema, SchemaVersion)
 	}
 	if b.Digest != digest {
-		return nil, fmt.Errorf("store: %w: blob digest %s does not match key %s",
+		return nil, rawBytes, compressed, fmt.Errorf("store: %w: blob digest %s does not match key %s",
 			ErrInvalidBlob, b.Digest, digest)
 	}
-	return &b, nil
+	return b, rawBytes, compressed, nil
 }
 
-// ValidateBlob parses and validates raw blob bytes against a digest and
-// returns the decoded result. The network client runs every response
-// body through it, so a truncated or tampered transfer is a miss (and a
-// recompute), never a wrong result.
+// ValidateBlob parses and validates raw blob bytes — v1 (plain) or v2
+// (gzip) container alike — against a digest and returns the decoded
+// result. The network client runs every response body through it, so a
+// truncated or tampered transfer is a miss (and a recompute), never a
+// wrong result.
 func ValidateBlob(data []byte, digest string) (*core.Result, error) {
-	b, err := parseBlob(data, digest)
+	b, _, _, err := parseBlob(data, digest)
 	if err != nil {
 		return nil, err
 	}
 	return decodeResult(b.Result), nil
-}
-
-// decodeBlob parses a blob and validates its envelope against the key it
-// was looked up under.
-func decodeBlob(data []byte, k Key) (*core.Result, error) {
-	return ValidateBlob(data, k.Digest)
 }

@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeV1Blob plants a legacy v1 (plain JSON) blob file, bypassing the
+// store — the on-disk state a pre-compression store directory left
+// behind.
+func writeV1Blob(t *testing.T, dir string, k Key) []byte {
+	t.Helper()
+	data, err := EncodeBlob(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsGzipBlob(data) {
+		t.Fatal("EncodeBlob no longer produces the plain container; the fixture is wrong")
+	}
+	if err := os.WriteFile(filepath.Join(dir, k.blobName()), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func readBlobFile(t *testing.T, dir string, k Key) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, k.blobName()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestV1BlobServesAndHealsToV2 is the transparent-migration contract: a
+// store seeded with v1 JSON blobs serves correct results immediately (a
+// hit, not a recompute), re-writes each blob in the v2 compressed
+// container on that first read, and keeps serving the identical result
+// afterwards — including through a fresh handle that never saw v1.
+func TestV1BlobServesAndHealsToV2(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, 0, 42)
+	writeV1Blob(t, dir, k)
+
+	res, ok := s.Get(k)
+	if !ok {
+		t.Fatal("v1 blob missed")
+	}
+	if !math.IsNaN(res.Pairs[0].Measurements[0].InjectedMs) || res.DeviceName != "A100-SXM4[0]" {
+		t.Fatalf("v1 blob decoded wrong: %+v", res)
+	}
+	if c := s.Counters(); c.Hits != 1 || c.Misses != 0 || c.Corrupt != 0 {
+		t.Fatalf("a v1 read must be a clean hit: %+v", c)
+	}
+
+	healed := readBlobFile(t, dir, k)
+	if !IsGzipBlob(healed) {
+		t.Fatal("v1 blob not re-written as the v2 container on first read")
+	}
+
+	// The healed index entry carries both sizes.
+	var found bool
+	for _, e := range s.Index() {
+		if e.Digest == k.Digest {
+			found = true
+			if e.Bytes != int64(len(healed)) || e.RawBytes <= e.Bytes {
+				t.Fatalf("healed entry sizes wrong: %+v (blob is %d bytes)", e, len(healed))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("healed blob not indexed")
+	}
+
+	// The heal's sizes are durable, not just this handle's view: a
+	// fresh handle's index (journal + snapshot replay, before any Get
+	// re-touches) must carry the compressed Bytes and the RawBytes the
+	// heal recorded — stale v1 sizes here would skew watermark GC and
+	// the stats compression ratio until every blob was re-read.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := s2.Index()[0]; e.Bytes != int64(len(healed)) || e.RawBytes <= e.Bytes {
+		t.Fatalf("healed sizes not durable across reopen: %+v (blob is %d bytes)", e, len(healed))
+	}
+	res2, ok := s2.Get(k)
+	if !ok {
+		t.Fatal("healed blob missed on reopen")
+	}
+	enc1, err := EncodeBlob(k, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodeBlob(k, res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("v1 and healed-v2 reads decode to different results")
+	}
+}
+
+// TestGetRawServesV1AsV2: the network read path ships the compact
+// container even when the disk blob is still v1 — and heals the disk on
+// the way.
+func TestGetRawServesV1AsV2(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, 0, 42)
+	writeV1Blob(t, dir, k)
+
+	data, ok := s.GetRaw(k.Digest)
+	if !ok {
+		t.Fatal("v1 blob missed through GetRaw")
+	}
+	if !IsGzipBlob(data) {
+		t.Fatal("GetRaw served the uncompressed container")
+	}
+	if _, err := ValidateBlob(data, k.Digest); err != nil {
+		t.Fatalf("served container does not validate: %v", err)
+	}
+	if !bytes.Equal(data, readBlobFile(t, dir, k)) {
+		t.Fatal("served bytes differ from the healed disk blob")
+	}
+}
+
+// TestMixedStoreRebuild: a directory holding both containers rebuilds a
+// complete index from a lost manifest — v1 blobs are first-class
+// citizens of the scan until their lazy migration.
+func TestMixedStoreRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kOld, kNew := mustKey(t, 0, 42), mustKey(t, 1, 43)
+	writeV1Blob(t, dir, kOld)
+	if err := s.Put(kNew, testResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the whole index.
+	os.Remove(filepath.Join(dir, manifestName))
+	os.Remove(filepath.Join(dir, journalName))
+	os.Remove(filepath.Join(dir, journalOldName))
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("rebuilt Len = %d, want both containers indexed", s2.Len())
+	}
+	for _, k := range []Key{kOld, kNew} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("rebuilt store misses %s", k)
+		}
+	}
+}
+
+// TestCorruptV2BlobIsMissAndHeals extends the injected-corruption
+// regression to the compressed container: a v2 blob whose gzip stream
+// is truncated, bit-flipped, or replaced with garbage behind a valid
+// magic must read as a miss that deletes the blob and tombstones its
+// entry, after which recompute-and-Put heals it — never an error,
+// never a wrong result.
+func TestCorruptV2BlobIsMissAndHeals(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated-stream": func(b []byte) []byte { return b[:len(b)/2] },
+		"missing-footer":   func(b []byte) []byte { return b[:len(b)-4] },
+		"bit-flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		},
+		"garbage-after-magic": func([]byte) []byte {
+			return []byte{gzipMagic0, gzipMagic1, 'n', 'o', 't', 'g', 'z'}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := mustKey(t, 0, 42)
+			if err := s.Put(k, testResult()); err != nil {
+				t.Fatal(err)
+			}
+			blob := filepath.Join(dir, k.blobName())
+			good, err := os.ReadFile(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !IsGzipBlob(good) {
+				t.Fatal("Put did not write the v2 container")
+			}
+			if err := os.WriteFile(blob, corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, ok := s.Get(k); ok {
+				t.Fatal("corrupt v2 blob served as a hit")
+			}
+			if _, err := os.Stat(blob); !os.IsNotExist(err) {
+				t.Fatal("corrupt blob left on disk")
+			}
+			if s.Len() != 0 {
+				t.Fatalf("index still reports the unreadable key: Len=%d", s.Len())
+			}
+			if c := s.Counters(); c.Corrupt != 1 || c.Misses != 1 {
+				t.Fatalf("counters = %+v, want the corruption counted as one miss", c)
+			}
+
+			// Recompute-and-heal: the next Put/Get cycle is clean.
+			if err := s.Put(k, testResult()); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(k); !ok {
+				t.Fatal("healed blob missed")
+			}
+		})
+	}
+}
+
+// TestBlobCompressionRatioSynthetic: the container must earn its keep
+// even on a small synthetic result — real quick-scale campaign blobs
+// (asserted in the root-level TestBlobCompressionRatio) compress
+// better still.
+func TestBlobCompressionRatioSynthetic(t *testing.T) {
+	k := mustKey(t, 0, 42)
+	plain, err := EncodeBlob(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := EncodeBlobCompressed(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(plain)) / float64(len(comp))
+	t.Logf("synthetic blob: %d -> %d bytes (%.2fx)", len(plain), len(comp), ratio)
+	if ratio < 1.5 {
+		t.Fatalf("compression ratio %.2f on the synthetic blob; the container is not paying for itself", ratio)
+	}
+}
+
+// TestBlobInflationBound: a compressed container that inflates past the
+// canonical-size rail is an invalid blob (a gzip bomb turned miss), not
+// an allocation storm.
+func TestBlobInflationBound(t *testing.T) {
+	old := maxCanonicalBytes
+	maxCanonicalBytes = 1 << 10
+	defer func() { maxCanonicalBytes = old }()
+
+	bomb, err := compressBlobBytes(bytes.Repeat([]byte{' '}, 64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = parseBlob(bomb, "deadbeef")
+	if err == nil || !errors.Is(err, ErrInvalidBlob) {
+		t.Fatalf("oversized inflate err = %v, want ErrInvalidBlob", err)
+	}
+
+	// A legitimate blob under the rail still parses.
+	maxCanonicalBytes = old
+	k := mustKey(t, 0, 42)
+	good, err := EncodeBlobCompressed(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := parseBlob(good, k.Digest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRejectsMultiMemberContainer: a v2 container must be exactly one
+// gzip member — concatenated members (which multistream gzip readers
+// transparently append) would let arbitrary padding hide behind a
+// valid digest and break the container's byte determinism.
+func TestRejectsMultiMemberContainer(t *testing.T) {
+	k := mustKey(t, 0, 42)
+	good, err := EncodeBlobCompressed(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, err := compressBlobBytes([]byte("  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concat := append(append([]byte(nil), good...), pad...)
+	if _, err := ValidateBlob(concat, k.Digest); err == nil || !errors.Is(err, ErrInvalidBlob) {
+		t.Fatalf("multi-member container err = %v, want ErrInvalidBlob", err)
+	}
+	// Raw trailing garbage after the member is rejected the same way.
+	trailing := append(append([]byte(nil), good...), "junk"...)
+	if _, err := ValidateBlob(trailing, k.Digest); err == nil || !errors.Is(err, ErrInvalidBlob) {
+		t.Fatalf("trailing-bytes container err = %v, want ErrInvalidBlob", err)
+	}
+	// And the pristine container still validates after those rejections
+	// (the pooled reader state is clean).
+	if _, err := ValidateBlob(good, k.Digest); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,8 @@
 // Package store persists campaign results as content-addressed,
-// versioned JSON blobs, so that repeated and incremental sweeps are
-// near-free: a campaign whose inputs have not changed is read back from
-// disk instead of being re-simulated.
+// versioned blobs — canonical JSON envelopes inside a compressed (v2)
+// container — so that repeated and incremental sweeps are near-free: a
+// campaign whose inputs have not changed is read back from disk
+// instead of being re-simulated, at a fraction of its JSON size.
 //
 // # Addressing
 //
@@ -24,13 +25,18 @@
 //
 // # Durability and tolerance
 //
-// Blobs are written to a temporary file in the store directory and
+// Blobs are streamed (encode → gzip → staging file, no full-buffer
+// materialisation) to a temporary file in the store directory and
 // atomically renamed into place, so a crash mid-write never leaves a
 // half-written blob under a valid digest name. Reads are corruption
-// tolerant: a blob that fails to parse, carries the wrong schema
-// version, or does not match its digest is treated as a miss — the
-// stale blob is deleted and its index entry tombstoned on the spot, and
-// the campaign is recomputed and rewritten — never as an error.
+// tolerant: a blob that fails to parse, carries a broken compressed
+// stream, carries the wrong schema version, or does not match its
+// digest is treated as a miss — the stale blob is deleted and its
+// index entry tombstoned on the spot, and the campaign is recomputed
+// and rewritten — never as an error. Legacy v1 (uncompressed) blobs
+// remain readable and are transparently re-written in the v2 container
+// the first time they are read; see codec.go for the container
+// contract.
 //
 // # Coordination
 //
@@ -51,6 +57,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -63,13 +70,17 @@ import (
 	"golatest/internal/hwprofile"
 )
 
-// SchemaVersion is the on-disk blob schema version. Bump it whenever the
-// stored* types in codec.go change shape or meaning, or when a campaign
-// code change makes previously-stored results non-reproducible; every
-// blob written under an older version then misses (both through the key
-// digest and the envelope check) and is recomputed. The manifest journal
-// is index-only metadata — blobs are untouched by it — so its
-// introduction did not bump this.
+// SchemaVersion is the blob schema version: the version of the
+// canonical envelope (the stored* types in codec.go) and of the
+// campaign semantics behind it. Bump it whenever those types change
+// shape or meaning, or when a campaign code change makes
+// previously-stored results non-reproducible; every blob written under
+// an older version then misses (both through the key digest and the
+// envelope check) and is recomputed. Container-level changes do NOT
+// bump it: the manifest journal (index-only metadata) and the v2
+// compressed blob container (the same canonical bytes, gzip-wrapped —
+// see codec.go) both left it at 1, which is precisely what keeps old
+// blobs readable across those transitions.
 const SchemaVersion = 1
 
 // manifestName is the index snapshot; it is not a blob.
@@ -137,8 +148,13 @@ type ManifestEntry struct {
 	Profile  string `json:"profile"`
 	Instance int    `json:"instance"`
 	Schema   int    `json:"schema"`
-	// Bytes is the blob size, recorded at Put; GC's size bound sums it.
+	// Bytes is the on-disk (compressed) blob size, recorded at Put;
+	// GC's size bound sums it.
 	Bytes int64 `json:"bytes,omitempty"`
+	// RawBytes is the canonical (uncompressed) envelope size; with
+	// Bytes it yields the store's compression ratio for stats without
+	// touching a single blob.
+	RawBytes int64 `json:"raw_bytes,omitempty"`
 	// AccessUnixNs is the LRU clock: advanced by Put and by every Get
 	// hit, consulted by GC's age bound and eviction order.
 	AccessUnixNs int64 `json:"access_ns,omitempty"`
@@ -230,27 +246,53 @@ func (s *Store) Has(k Key) bool {
 }
 
 // Get returns the stored campaign for the key, or (nil, false) on any
-// kind of miss: no blob, unparseable blob, schema mismatch, or digest
-// mismatch. Invalid blobs are never fatal — the stale blob is deleted
-// and its index entry tombstoned immediately (so Index and Len never
-// report a key that cannot be read), and the caller recomputes and
-// Puts. A hit advances the entry's LRU clock for GC.
+// kind of miss: no blob, unparseable blob, broken compressed stream,
+// schema mismatch, or digest mismatch. Invalid blobs are never fatal —
+// the stale blob is deleted and its index entry tombstoned immediately
+// (so Index and Len never report a key that cannot be read), and the
+// caller recomputes and Puts. A hit advances the entry's LRU clock for
+// GC. A hit on a legacy v1 (uncompressed) blob additionally heals it
+// to the v2 container on the spot, so one warm pass migrates a store.
 func (s *Store) Get(k Key) (*core.Result, bool) {
 	data, err := os.ReadFile(filepath.Join(s.dir, k.blobName()))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
 	}
-	res, err := decodeBlob(data, k)
+	b, rawN, compressed, err := parseBlob(data, k.Digest)
 	if err != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
 		s.healCorrupt(k)
 		return nil, false
 	}
+	res := decodeResult(b.Result)
+	size := int64(len(data))
+	if !compressed {
+		if _, n, healed := s.healV1(k.blobName(), data); healed {
+			size = n
+		}
+	}
 	s.hits.Add(1)
-	s.touch(k, int64(len(data)))
+	s.touch(k, size, rawN)
 	return res, true
+}
+
+// healV1 re-writes a validated v1 (uncompressed) blob in the v2
+// container — the transparent migration path. Best-effort: a store
+// that cannot be written (read-only snapshot, full disk) keeps serving
+// the v1 bytes, and the next read retries. Concurrent healers write
+// identical bytes (fixed gzip level over identical input), so the
+// rename race is benign.
+func (s *Store) healV1(name string, data []byte) (compressedBytes []byte, size int64, ok bool) {
+	comp, err := compressBlobBytes(data)
+	if err != nil {
+		return nil, 0, false
+	}
+	if err := s.writeAtomic(name, comp); err != nil {
+		return comp, 0, false
+	}
+	return comp, int64(len(comp)), true
 }
 
 // reservedDigest reports a digest whose blob filename would collide
@@ -259,13 +301,15 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 // — or, via the corrupt-blob healing path, delete — manifest.json.
 func reservedDigest(digest string) bool { return digest+".json" == manifestName }
 
-// GetRaw returns the validated raw bytes of the blob stored under
-// digest — the network daemon's read path: the blob is shipped
-// verbatim (no decode/re-encode round trip on the wire), while the
-// validation, traffic counters, LRU touch, and corrupt-blob healing all
-// match Get. The touch indexes under the profile/instance recorded in
-// the blob envelope, so a served blob is fully described in the index
-// even when this handle never saw its Put.
+// GetRaw returns the validated raw container bytes of the blob stored
+// under digest — the network daemon's read path: a v2 blob is shipped
+// verbatim (no decompress/recompress, no decode/re-encode round trip
+// on the wire), while the validation, traffic counters, LRU touch, and
+// corrupt-blob healing all match Get. A legacy v1 blob is healed to v2
+// first and the compressed bytes served, so the wire carries the
+// compact container either way. The touch indexes under the
+// profile/instance recorded in the blob envelope, so a served blob is
+// fully described in the index even when this handle never saw its Put.
 func (s *Store) GetRaw(digest string) ([]byte, bool) {
 	if reservedDigest(digest) {
 		// A plain miss, pointedly without healing: the "corrupt blob"
@@ -278,37 +322,59 @@ func (s *Store) GetRaw(digest string) ([]byte, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	b, err := parseBlob(data, digest)
+	b, rawN, compressed, err := parseBlob(data, digest)
 	if err != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
 		s.healCorrupt(Key{Digest: digest})
 		return nil, false
 	}
+	diskSize := int64(len(data))
+	if !compressed {
+		// Serve the compact container even when the disk heal failed —
+		// the compressed bytes in hand are valid either way. The index
+		// records what is actually on disk, so a failed heal keeps the
+		// v1 size (watermark GC must not undercount a store it cannot
+		// shrink).
+		if comp, healedSize, healed := s.healV1(digest+".json", data); comp != nil {
+			data = comp
+			if healed {
+				diskSize = healedSize
+			}
+		}
+	}
 	s.hits.Add(1)
-	s.touch(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, int64(len(data)))
+	s.touch(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, diskSize, rawN)
 	return data, true
 }
 
-// PutRaw stores pre-encoded blob bytes under digest — the network
-// daemon's write path, and the client's local-cache heal. The bytes are
-// validated first (envelope parse, schema, digest match; failures wrap
-// ErrInvalidBlob), so a caller can never plant a blob Get would reject,
-// then written with the same atomic rename and O(1) journal append as
-// Put.
+// PutRaw stores pre-encoded blob container bytes under digest — the
+// network daemon's write path, and the client's local-cache heal. The
+// bytes are validated first (container sniff, envelope parse, gzip
+// integrity, schema, digest match; failures wrap ErrInvalidBlob), so a
+// caller can never plant a blob Get would reject, then written with
+// the same atomic rename and O(1) journal append as Put. v2 bytes land
+// verbatim — the raw passthrough that makes a remote Put → remote Get
+// cycle copy the compressed stream end to end — while v1 bytes from
+// legacy writers are wrapped in the v2 container on the way down.
 func (s *Store) PutRaw(digest string, data []byte) error {
 	if reservedDigest(digest) {
 		return fmt.Errorf("store: %w: digest %q names the index snapshot", ErrInvalidBlob, digest)
 	}
-	b, err := parseBlob(data, digest)
+	b, rawN, compressed, err := parseBlob(data, digest)
 	if err != nil {
 		return err
+	}
+	if !compressed {
+		if data, err = compressBlobBytes(data); err != nil {
+			return err
+		}
 	}
 	if err := s.writeAtomic(digest+".json", data); err != nil {
 		return err
 	}
 	s.puts.Add(1)
-	return s.recordPut(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, int64(len(data)))
+	return s.recordPut(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, int64(len(data)), rawN)
 }
 
 // healCorrupt removes an unreadable blob and tombstones its index entry,
@@ -326,8 +392,11 @@ func (s *Store) healCorrupt(k Key) {
 
 // touch advances the key's LRU clock, indexing the blob on the fly if
 // this handle had no entry for it (e.g. a peer's write this handle has
-// not folded yet).
-func (s *Store) touch(k Key, size int64) {
+// not folded yet). A size change — a v1→v2 heal just rewrote the blob,
+// or the recorded sizes were stale — is journaled as a full upsert
+// rather than a bare touch, so the durable index carries the new sizes
+// across restarts (opTouch records only the access clock).
+func (s *Store) touch(k Key, size, rawSize int64) {
 	now := time.Now().UnixNano()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -335,39 +404,56 @@ func (s *Store) touch(k Key, size int64) {
 	if !ok {
 		e = ManifestEntry{Digest: k.Digest, Profile: k.Profile, Instance: k.Instance, Schema: SchemaVersion}
 	}
+	resized := e.Bytes != size || e.RawBytes != rawSize
 	e.Bytes = size
+	e.RawBytes = rawSize
 	e.AccessUnixNs = now
 	s.manifest[k.Digest] = e
 	rec := journalRecord{Op: opTouch, Digest: k.Digest, AccessUnixNs: now}
-	if !ok {
+	if !ok || resized {
 		rec = journalRecord{Op: opPut, Entry: &e}
 	}
 	_ = s.appendJournalLocked(rec)
 	s.maybeCompactLocked()
 }
 
-// Put stores the campaign under the key, atomically: the blob is staged
-// in a temporary file and renamed into place, so concurrent readers see
-// either the old blob or the new one, never a torn write. The index
-// update is one O(1) journal append regardless of store size.
+// Put stores the campaign under the key, atomically: the canonical
+// encoding flows through a pooled gzip writer straight into a
+// temporary file that is renamed into place, so concurrent readers see
+// either the old blob or the new one, never a torn write, and the
+// compressed bytes are never buffered in memory (the canonical buffer
+// exists once, transiently, inside the encoder — an encoding/json
+// constraint). The index update is one O(1) journal append regardless
+// of store size.
 func (s *Store) Put(k Key, res *core.Result) error {
 	if res == nil {
 		return fmt.Errorf("store: nil result for %s", k)
 	}
-	data, err := encodeBlob(k, res)
+	var size, rawN int64
+	err := s.writeAtomicStream(k.blobName(), func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		n, err := encodeBlobTo(cw, k, res)
+		size, rawN = cw.n, n
+		if err == nil && rawN > maxCanonicalBytes {
+			// What Put writes, Get must be able to read: past the
+			// decode rail every Get would classify the blob corrupt and
+			// delete it — a silent recompute/delete loop. Refuse here
+			// instead (the staging file is discarded, nothing lands).
+			err = fmt.Errorf("store: %s: canonical size %d exceeds the %d-byte decode bound",
+				k, rawN, maxCanonicalBytes)
+		}
+		return err
+	})
 	if err != nil {
-		return fmt.Errorf("store: encode %s: %w", k, err)
-	}
-	if err := s.writeAtomic(k.blobName(), data); err != nil {
 		return err
 	}
 	s.puts.Add(1)
-	return s.recordPut(k, int64(len(data)))
+	return s.recordPut(k, size, rawN)
 }
 
 // recordPut indexes a freshly written blob: upsert the manifest entry,
 // journal it, and compact if the log outgrew its threshold.
-func (s *Store) recordPut(k Key, size int64) error {
+func (s *Store) recordPut(k Key, size, rawSize int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := ManifestEntry{
@@ -376,6 +462,7 @@ func (s *Store) recordPut(k Key, size int64) error {
 		Instance:     k.Instance,
 		Schema:       SchemaVersion,
 		Bytes:        size,
+		RawBytes:     rawSize,
 		AccessUnixNs: time.Now().UnixNano(),
 	}
 	s.manifest[k.Digest] = e
@@ -428,17 +515,40 @@ func (s *Store) writeAtomic(name string, data []byte) error {
 	return atomicWrite(filepath.Join(s.dir, name), data)
 }
 
-// atomicWrite stages data next to dst and renames it into place. Every
-// failure path removes the staging file: a failed write must not litter
-// the directory with orphans. Shared by blob/snapshot writes and lease
-// renewal.
+// writeAtomicStream is writeAtomic for producers that stream: fill
+// writes straight into the staging file (through the same injectable
+// stage-write hook), which is then renamed into place — the path Put
+// uses to compress-encode a blob without ever holding it in memory.
+func (s *Store) writeAtomicStream(name string, fill func(io.Writer) error) error {
+	return atomicWriteStream(filepath.Join(s.dir, name), fill)
+}
+
+// atomicWrite stages data next to dst and renames it into place.
+// Shared by snapshot writes, lease renewal, and the v1→v2 blob heal.
 func atomicWrite(dst string, data []byte) error {
+	return atomicWriteStream(dst, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// stagingFile routes a staging file's writes through the injectable
+// stageWrite hook, so streaming producers hit the same simulated
+// failure paths (full disk, unwritable directory) as buffered ones.
+type stagingFile struct{ f *os.File }
+
+func (w stagingFile) Write(p []byte) (int, error) { return stageWrite(w.f, p) }
+
+// atomicWriteStream stages fill's output next to dst and renames it
+// into place. Every failure path removes the staging file: a failed
+// write must not litter the directory with orphans.
+func atomicWriteStream(dst string, fill func(io.Writer) error) error {
 	dir, base := filepath.Split(dst)
 	tmp, err := os.CreateTemp(dir, tmpPrefix+base+"-*")
 	if err != nil {
 		return fmt.Errorf("store: stage %s: %w", base, err)
 	}
-	if _, err := stageWrite(tmp, data); err != nil {
+	if err := fill(stagingFile{f: tmp}); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: stage %s: %w", base, err)
@@ -505,9 +615,10 @@ func (s *Store) rebuildManifestLocked() error {
 		if err != nil {
 			continue
 		}
-		var b storedBlob
-		if err := json.Unmarshal(data, &b); err != nil || b.Schema != SchemaVersion ||
-			b.Digest+".json" != name {
+		// Either container format is a citizen of the scan: legacy v1
+		// blobs index like v2 ones and migrate lazily on their next Get.
+		b, rawN, _, err := parseBlob(data, strings.TrimSuffix(name, ".json"))
+		if err != nil {
 			continue
 		}
 		e := ManifestEntry{
@@ -516,6 +627,7 @@ func (s *Store) rebuildManifestLocked() error {
 			Instance: b.Instance,
 			Schema:   b.Schema,
 			Bytes:    int64(len(data)),
+			RawBytes: rawN,
 		}
 		if fi, err := de.Info(); err == nil {
 			e.AccessUnixNs = fi.ModTime().UnixNano()

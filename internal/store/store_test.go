@@ -174,16 +174,32 @@ func TestRoundTripExact(t *testing.T) {
 		t.Fatal("Get missed a just-Put key")
 	}
 
-	enc1, err := encodeBlob(k, res)
+	enc1, err := EncodeBlob(k, res)
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc2, err := encodeBlob(k, got)
+	enc2, err := EncodeBlob(k, got)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(enc1, enc2) {
 		t.Fatal("round-tripped result re-encodes differently")
+	}
+	// The compressed container round-trips the same canonical bytes and
+	// is itself deterministic.
+	comp1, err := EncodeBlobCompressed(k, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := EncodeBlobCompressed(k, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(comp1, comp2) {
+		t.Fatal("round-tripped result re-compresses differently")
+	}
+	if !IsGzipBlob(comp1) || IsGzipBlob(enc1) {
+		t.Fatal("container sniffing misclassifies the two formats")
 	}
 
 	if got.DeviceName != res.DeviceName || got.CaptureHintNs != res.CaptureHintNs {

@@ -18,17 +18,38 @@
 //	POST /v1/leases/{digest}/release  → {owner, token} ⇒ 204
 //	GET  /v1/leases/{digest}          → {held, owner}
 //	GET  /v1/index                    → {api, schema, entries}
-//	GET  /v1/stats                    → {api, schema, blobs, bytes, counters}
+//	GET  /v1/stats                    → {api, schema, blobs, bytes, raw_bytes, compression_ratio, counters, leases}
 //	POST /v1/gc                       → {max_bytes, max_age_ns} ⇒ GCStats
 //
-// Blobs travel verbatim — the canonical bytes store.EncodeBlob produces
-// and a *store.Store keeps on disk. A blob's content is a deterministic
-// function of its digest (equal key ⇒ equal result ⇒ equal bytes), so
-// blobs are immutable per digest and the digest doubles as a strong
-// ETag: a body that ever validated for a digest never needs re-fetching.
-// Note the digest is the content address of the campaign's *inputs*
-// (schema, profile, instance, seed, config — see internal/store), not a
-// hash of the blob bytes; validation is therefore envelope validation
+// The blob *entity* is the canonical envelope store.EncodeBlob
+// produces; the bytes on the wire are negotiated with standard HTTP
+// content coding, mirroring the on-disk v2 container:
+//
+//	client Accept-Encoding   disk blob   response body
+//	gzip (incl. Go default)  v2 (gzip)   the disk bytes verbatim, Content-Encoding: gzip
+//	identity only            v2 (gzip)   canonical JSON, inflated on the fly
+//	any                      legacy v1   canonical JSON (the store heals the blob to v2)
+//
+//	PUT body                 stored as
+//	v2 container (sniffed)   verbatim — raw passthrough
+//	canonical JSON           wrapped in the v2 container
+//
+// Both directions sniff the gzip magic rather than trusting headers, so
+// a proxy that strips Content-Encoding cannot corrupt a transfer —
+// validation (store.ValidateBlob) accepts either container and rejects
+// everything else. Because identity remains a fully supported coding,
+// compression needed no /v1 → /v2 API bump: pre-codec clients
+// interoperate unchanged (Go's transport inflates for them
+// transparently).
+//
+// A blob's content is a deterministic function of its digest (equal
+// key ⇒ equal result ⇒ equal canonical bytes), so blobs are immutable
+// per digest and the digest doubles as a strong ETag over the entity —
+// the content coding does not enter the ETag, and a body that ever
+// validated for a digest never needs re-fetching. Note the digest is
+// the content address of the campaign's *inputs* (schema, profile,
+// instance, seed, config — see internal/store), not a hash of the blob
+// bytes; validation is therefore envelope validation
 // (store.ValidateBlob), not a byte-hash comparison.
 //
 // Every response body is validated by the client before use: a
@@ -131,13 +152,20 @@ type indexResponse struct {
 	Entries []store.ManifestEntry `json:"entries"`
 }
 
-// statsResponse summarises the daemon's store.
-type statsResponse struct {
-	API      int            `json:"api"`
-	Schema   int            `json:"schema"`
-	Blobs    int            `json:"blobs"`
-	Bytes    int64          `json:"bytes"`
-	Counters store.Counters `json:"counters"`
+// Stats summarises the daemon's store. Bytes is on-disk
+// (compressed) size; RawBytes is the canonical (uncompressed) total
+// the index has recorded, and CompressionRatio their quotient (0 until
+// both are known). Leases is the lease churn this daemon instance has
+// arbitrated.
+type Stats struct {
+	API              int            `json:"api"`
+	Schema           int            `json:"schema"`
+	Blobs            int            `json:"blobs"`
+	Bytes            int64          `json:"bytes"`
+	RawBytes         int64          `json:"raw_bytes"`
+	CompressionRatio float64        `json:"compression_ratio"`
+	Counters         store.Counters `json:"counters"`
+	Leases           LeaseStats     `json:"leases"`
 }
 
 // gcRequest is a store.GCPolicy on the wire; the response is the

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -132,7 +133,16 @@ func (c *Client) leaseURL(digest, op string) string {
 // replayed from memory on every attempt. 4xx responses return
 // immediately — retrying a request the server understood and refused
 // only repeats the refusal.
-func (c *Client) doIdempotent(method, u string, body []byte) (*http.Response, error) {
+//
+// rawEncoding (blob requests only) sets Accept-Encoding explicitly,
+// which (per net/http) disables the transport's transparent
+// decompression: the blob body arrives as the raw compressed container
+// the daemon has on disk, and the client inflates it itself through
+// the store codec's pooled readers — one decompression, on our terms.
+// Control-plane requests leave the header to the transport, so their
+// JSON survives any gzip a reverse proxy in front of the daemon may
+// add (the transport inflates it transparently).
+func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 {
@@ -146,8 +156,14 @@ func (c *Client) doIdempotent(method, u string, body []byte) (*http.Response, er
 		if err != nil {
 			return nil, err
 		}
+		if rawEncoding {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+			if store.IsGzipBlob(body) {
+				req.Header.Set("Content-Encoding", "gzip")
+			}
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -195,9 +211,40 @@ func readBody(resp *http.Response, limit int64) ([]byte, error) {
 	return io.ReadAll(io.LimitReader(resp.Body, limit))
 }
 
-// Get resolves a key: local tier first, then the daemon. A remote hit
-// heals the local tier; an invalid or truncated remote body is a miss
-// (Corrupt counter), exactly like a corrupt local blob.
+// bodyBufs recycles blob-body buffers across warm Gets. The buffer's
+// bytes never outlive the Get: validation decodes out of them (JSON
+// copies every string) and the cache heal writes them to disk, so
+// returning the buffer to the pool afterwards is safe — and it deletes
+// the single largest per-Get allocation from the warm path.
+var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBodyBuf caps what bodyBufs retains: one pathological
+// near-maxBlobBytes response must not pin a 256 MiB buffer in the pool
+// for the life of the process.
+const maxPooledBodyBuf = 8 << 20
+
+func putBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBodyBuf {
+		bodyBufs.Put(buf)
+	}
+}
+
+// readBodyInto drains the (bounded) body into buf and closes it,
+// reporting a transfer that died mid-body.
+func readBodyInto(buf *bytes.Buffer, resp *http.Response, limit int64) error {
+	defer resp.Body.Close()
+	_, err := buf.ReadFrom(io.LimitReader(resp.Body, limit))
+	return err
+}
+
+// Get resolves a key: local tier first, then the daemon. The response
+// body is the compressed blob container (negotiated via
+// Accept-Encoding, served as a raw passthrough of the daemon's disk
+// bytes), read into a pooled buffer and validated by the store codec's
+// streaming decoder — the canonical JSON is never materialised. A
+// remote hit heals the local tier with the same compressed bytes,
+// verbatim; an invalid or truncated remote body is a miss (Corrupt
+// counter), exactly like a corrupt local blob.
 func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	if c.cache != nil {
 		if res, ok := c.cache.Get(k); ok {
@@ -205,12 +252,15 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 			return res, true
 		}
 	}
-	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(k.Digest), nil)
+	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(k.Digest), nil, true)
 	if err != nil {
 		c.misses.Add(1)
 		return nil, false
 	}
-	data, readErr := readBody(resp, maxBlobBytes)
+	buf := bodyBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer putBodyBuf(buf)
+	readErr := readBodyInto(buf, resp, maxBlobBytes)
 	if resp.StatusCode != http.StatusOK {
 		c.misses.Add(1)
 		return nil, false
@@ -221,7 +271,7 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	res, err := store.ValidateBlob(data, k.Digest)
+	res, err := store.ValidateBlob(buf.Bytes(), k.Digest)
 	if err != nil {
 		c.corrupt.Add(1)
 		c.misses.Add(1)
@@ -230,27 +280,50 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	if c.cache != nil {
 		// Best-effort heal: a full local disk must not fail a read the
 		// remote already answered.
-		_ = c.cache.PutRaw(k.Digest, data)
+		_ = c.cache.PutRaw(k.Digest, buf.Bytes())
 	}
 	c.hits.Add(1)
 	return res, true
 }
 
-// Put encodes once and writes through: daemon first (authoritative —
-// its failure fails the Put), then the local tier (best-effort).
+// Put encodes once — straight into the compressed container — and
+// writes through: daemon first (authoritative — its failure fails the
+// Put), then the local tier (best-effort, the same bytes verbatim).
+// The wire carries the compressed bytes under Content-Encoding: gzip;
+// the daemon stores them as-is after validation.
 func (c *Client) Put(k store.Key, res *core.Result) error {
 	if res == nil {
 		return fmt.Errorf("storenet: nil result for %s", k)
 	}
-	data, err := store.EncodeBlob(k, res)
+	data, err := store.EncodeBlobCompressed(k, res)
 	if err != nil {
 		return fmt.Errorf("storenet: encode %s: %w", k, err)
 	}
-	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data)
+	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data, true)
 	if err != nil {
 		return fmt.Errorf("storenet: put %s: %w", k, err)
 	}
 	drain(resp)
+	if resp.StatusCode == http.StatusBadRequest {
+		// A pre-codec daemon cannot parse the compressed container and
+		// answers 400; fall back to the canonical (identity) bytes once,
+		// which every daemon version accepts. A 400 for any other
+		// reason fails identically on the retry and surfaces below,
+		// naming both refusals.
+		firstStatus := resp.Status
+		plain, perr := store.EncodeBlob(k, res)
+		if perr != nil {
+			return fmt.Errorf("storenet: encode %s: %w", k, perr)
+		}
+		if resp, err = c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), plain, true); err != nil {
+			return fmt.Errorf("storenet: put %s: %w", k, err)
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("storenet: put %s: %s (compressed) then %s (identity fallback)",
+				k, firstStatus, resp.Status)
+		}
+	}
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("storenet: put %s: %s", k, resp.Status)
 	}
@@ -266,7 +339,7 @@ func (c *Client) Has(k store.Key) bool {
 	if c.cache != nil && c.cache.Has(k) {
 		return true
 	}
-	resp, err := c.doIdempotent(http.MethodHead, c.blobURL(k.Digest), nil)
+	resp, err := c.doIdempotent(http.MethodHead, c.blobURL(k.Digest), nil, true)
 	if err != nil {
 		return false
 	}
@@ -277,7 +350,7 @@ func (c *Client) Has(k store.Key) bool {
 // Index lists the daemon's manifest — the fleet-wide view, not the
 // local tier's subset. Degrades to empty on failure.
 func (c *Client) Index() []store.ManifestEntry {
-	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/index", nil)
+	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/index", nil, false)
 	if err != nil {
 		return nil
 	}
@@ -299,9 +372,9 @@ func (c *Client) Len() int {
 }
 
 // Stats fetches the daemon's stats endpoint.
-func (c *Client) Stats() (statsResponse, error) {
-	var st statsResponse
-	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/stats", nil)
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/stats", nil, false)
 	if err != nil {
 		return st, err
 	}
@@ -365,7 +438,7 @@ func (c *Client) TryAcquire(digest, owner string, ttl time.Duration) (store.Leas
 
 // LeaseHolder peeks at a digest's live claim via the daemon.
 func (c *Client) LeaseHolder(digest string) (string, bool) {
-	resp, err := c.doIdempotent(http.MethodGet, c.leaseURL(digest, ""), nil)
+	resp, err := c.doIdempotent(http.MethodGet, c.leaseURL(digest, ""), nil, false)
 	if err != nil {
 		return "", false
 	}

@@ -2,6 +2,7 @@ package storenet
 
 import (
 	"bytes"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -133,6 +134,15 @@ func TestClientCorruptResponseIsMiss(t *testing.T) {
 	// inputs, not a hash of the bytes — which is why the trust boundary
 	// is "only Put validated blobs", enforced by the server.
 	tampered := bytes.Replace(good, []byte(`"schema"`), []byte(`"scheme"`), 1)
+	// The compressed container has its own failure modes: a stream cut
+	// before the gzip footer (CRC never verified) and a bit flip inside
+	// the deflate stream.
+	compGood, err := store.EncodeBlobCompressed(k, testResult(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compFlipped := append([]byte(nil), compGood...)
+	compFlipped[len(compFlipped)/2] ^= 0x40
 
 	// mode selects the injected corruption; "ok" serves the real bytes.
 	var mode atomic.Value
@@ -148,6 +158,10 @@ func TestClientCorruptResponseIsMiss(t *testing.T) {
 			_, _ = w.Write(tampered)
 		case "wrong-key":
 			_, _ = w.Write(wrongKeyBlob)
+		case "gzip-truncate":
+			_, _ = w.Write(compGood[:len(compGood)-4])
+		case "gzip-bitflip":
+			_, _ = w.Write(compFlipped)
 		default:
 			_, _ = w.Write(good)
 		}
@@ -160,7 +174,7 @@ func TestClientCorruptResponseIsMiss(t *testing.T) {
 	}
 	c := newClient(t, srv.URL, cache)
 
-	for i, m := range []string{"truncate", "tamper", "wrong-key"} {
+	for i, m := range []string{"truncate", "tamper", "wrong-key", "gzip-truncate", "gzip-bitflip"} {
 		mode.Store(m)
 		if res, ok := c.Get(k); ok {
 			t.Fatalf("%s: Get returned %+v, want miss", m, res)
@@ -301,7 +315,7 @@ func TestClientInteropWithLocalHandles(t *testing.T) {
 	if !ok || res.DeviceName != "a100[0]" {
 		t.Fatalf("local handle Get = %+v ok=%v", res, ok)
 	}
-	want, err := store.EncodeBlob(k, testResult(0))
+	want, err := store.EncodeBlobCompressed(k, testResult(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,4 +326,54 @@ func TestClientInteropWithLocalHandles(t *testing.T) {
 	if !bytes.Equal(want, got) {
 		t.Fatal("wire-written blob differs from a local Put's bytes")
 	}
+}
+
+// TestClientPutFallsBackToIdentityForLegacyDaemon: a pre-codec daemon
+// rejects the compressed container as unparseable (400); the client
+// must fall back to the canonical identity bytes once, so a rolling
+// upgrade that reaches workers before the store daemon keeps writing.
+func TestClientPutFallsBackToIdentityForLegacyDaemon(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(st)
+	var gzipPuts, identityPuts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				t.Error(err)
+			}
+			if store.IsGzipBlob(body) {
+				// What a pre-codec daemon's json.Unmarshal does.
+				gzipPuts.Add(1)
+				http.Error(w, "store: blob: invalid blob: invalid character '\\x1f'",
+					http.StatusBadRequest)
+				return
+			}
+			identityPuts.Add(1)
+			r2 := r.Clone(r.Context())
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			inner.ServeHTTP(w, r2)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := newClient(t, srv.URL, nil)
+	k := testKey(t, 0)
+	if err := c.Put(k, testResult(0)); err != nil {
+		t.Fatalf("Put did not fall back to identity bytes: %v", err)
+	}
+	if gzipPuts.Load() != 1 || identityPuts.Load() != 1 {
+		t.Fatalf("puts: %d gzip, %d identity; want one attempt each", gzipPuts.Load(), identityPuts.Load())
+	}
+	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("blob unreadable after fallback put: %+v ok=%v", res, ok)
+	}
+	// A genuinely invalid blob still fails: the fallback is one retry,
+	// not an error-masking loop — covered by the 400 the identity body
+	// earns from the real server in TestServerPutRejectsInvalidBlobs.
 }

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"golatest/internal/store"
@@ -20,6 +22,34 @@ import (
 type Server struct {
 	st  *store.Store
 	mux *http.ServeMux
+
+	// Lease churn served by this daemon instance — the fleet-wide
+	// contention view a single client's counters cannot give. In-memory
+	// by design (a restart zeroes them): they describe this instance's
+	// traffic, not the store's state.
+	leaseAcquired, leaseStolen, leaseBusy, leaseRenewed, leaseReleased atomic.Int64
+}
+
+// LeaseStats snapshots the lease traffic a Server has arbitrated:
+// successful grants (Stolen counts the subset that displaced an expired
+// holder), busy rejections, renewals, and releases.
+type LeaseStats struct {
+	Acquired int64 `json:"acquired"`
+	Stolen   int64 `json:"stolen"`
+	Busy     int64 `json:"busy"`
+	Renewed  int64 `json:"renewed"`
+	Released int64 `json:"released"`
+}
+
+// LeaseStats returns the server's lease-churn counters.
+func (s *Server) LeaseStats() LeaseStats {
+	return LeaseStats{
+		Acquired: s.leaseAcquired.Load(),
+		Stolen:   s.leaseStolen.Load(),
+		Busy:     s.leaseBusy.Load(),
+		Renewed:  s.leaseRenewed.Load(),
+		Released: s.leaseReleased.Load(),
+	}
 }
 
 // NewServer builds the handler for a store.
@@ -74,10 +104,40 @@ func etagMatches(header, digest string) bool {
 	return false
 }
 
+// acceptsGzip reports whether the request's Accept-Encoding admits a
+// gzip response body. Go's default transport sends "gzip" on its own
+// (and transparently inflates), so both codec-aware clients and legacy
+// ones land on the compressed path; only an explicit identity-only
+// header (curl, exotic proxies) takes the decompressing fallback.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		part = strings.TrimSpace(part)
+		coding, params, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(coding) != "gzip" && strings.TrimSpace(coding) != "*" {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && v == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // handleBlobGet serves GET and HEAD. GET goes through the store's
 // validating read path (counters, LRU touch, corrupt-blob healing);
 // HEAD is the cheap existence probe Has maps to and deliberately
 // touches nothing.
+//
+// The response body is negotiated: the store keeps blobs in the
+// compressed (v2) container, so a client that accepts gzip gets the
+// disk bytes verbatim under Content-Encoding: gzip — a near-zero-copy
+// passthrough, no recompression, no re-encode — while an identity-only
+// client gets the canonical JSON inflated on the fly through pooled
+// readers. Either way the entity is the same canonical envelope, so
+// the digest ETag and If-None-Match semantics are unchanged.
 func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 	digest := s.digest(w, r)
 	if digest == "" {
@@ -101,6 +161,10 @@ func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "storenet: no blob", http.StatusNotFound)
 		return
 	}
+	// The body representation depends on Accept-Encoding (passthrough vs
+	// inflated) while both share the digest ETag — a shared cache must
+	// key on the coding or it would serve gzip to an identity client.
+	w.Header().Set("Vary", "Accept-Encoding")
 	w.Header().Set("ETag", etagFor(digest))
 	// Blobs are immutable per digest: a cached body that ever matched is
 	// still good.
@@ -109,7 +173,26 @@ func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(data)
+	// GetRaw serves the compressed container except when a legacy blob's
+	// disk heal failed mid-flight; sniff rather than assume.
+	if !store.IsGzipBlob(data) {
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+		return
+	}
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+		return
+	}
+	// Identity-only client: inflate through the store codec's pooled
+	// readers. (GetRaw already validated the stream; this second
+	// inflate is the rare path's price for the common path's
+	// passthrough.) A mid-body error is unrecoverable over HTTP — the
+	// status line is gone — and the client's validation treats the
+	// truncated body as a miss.
+	_ = store.WriteCanonical(w, data)
 }
 
 // handleBlobPut validates and stores a blob. Invalid bytes — garbage,
@@ -170,9 +253,14 @@ func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
+		s.leaseBusy.Add(1)
 		holder, _ := s.st.LeaseHolder(digest)
 		writeJSON(w, http.StatusConflict, busyResponse{Holder: holder})
 		return
+	}
+	s.leaseAcquired.Add(1)
+	if lease.Stolen() {
+		s.leaseStolen.Add(1)
 	}
 	writeJSON(w, http.StatusOK, acquireResponse{Token: lease.Token(), Stolen: lease.Stolen()})
 }
@@ -198,6 +286,7 @@ func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	s.leaseRenewed.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -221,6 +310,7 @@ func (s *Server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.leaseReleased.Add(1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -232,15 +322,29 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// Stats assembles the daemon-health snapshot /v1/stats serves; cmd/
+// stored's periodic log line formats the same snapshot, so the two
+// views cannot drift.
+func (s *Server) Stats() Stats {
 	ix := s.st.Index()
-	writeJSON(w, http.StatusOK, statsResponse{
+	bytes, raw := store.IndexedBytes(ix), store.IndexedRawBytes(ix)
+	resp := Stats{
 		API:      APIVersion,
 		Schema:   store.SchemaVersion,
 		Blobs:    len(ix),
-		Bytes:    store.IndexedBytes(ix),
+		Bytes:    bytes,
+		RawBytes: raw,
 		Counters: s.st.Counters(),
-	})
+		Leases:   s.LeaseStats(),
+	}
+	if bytes > 0 && raw > 0 {
+		resp.CompressionRatio = float64(raw) / float64(bytes)
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {

@@ -335,7 +335,7 @@ func TestServerIndexStatsGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats statsResponse
+	var stats Stats
 	err = json.NewDecoder(resp.Body).Decode(&stats)
 	resp.Body.Close()
 	if err != nil || stats.Blobs != 3 || stats.Bytes <= 0 || stats.Counters.Puts != 3 {
@@ -437,5 +437,136 @@ func TestServerConditionalGetVouchesExistence(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("conditional GET of a missing blob: %s, want 404", resp.Status)
+	}
+}
+
+// TestServerContentNegotiation pins the wire table: a gzip-accepting
+// client gets the daemon's disk bytes verbatim under Content-Encoding:
+// gzip (the near-zero-copy passthrough), an identity-only client gets
+// the canonical JSON inflated on the fly, and a stock Go client (whose
+// transport negotiates and inflates transparently) sees the canonical
+// JSON too — three views of one immutable entity under one ETag.
+func TestServerContentNegotiation(t *testing.T) {
+	st, srv := newDaemon(t)
+	k := testKey(t, 0)
+	if err := st.Put(k, testResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(filepath.Join(st.Dir(), k.Digest+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := store.EncodeBlob(k, testResult(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobURL := srv.URL + "/v1/blobs/" + k.Digest
+
+	// Raw client, explicit gzip: passthrough of the disk bytes.
+	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	req, _ := http.NewRequest(http.MethodGet, blobURL, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip GET: %s err=%v", resp.Status, err)
+	}
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", resp.Header.Get("Content-Encoding"))
+	}
+	if !bytes.Equal(body, disk) {
+		t.Fatal("gzip body is not the disk container verbatim")
+	}
+	if _, err := store.ValidateBlob(body, k.Digest); err != nil {
+		t.Fatalf("passthrough body does not validate: %v", err)
+	}
+
+	// Identity-only client: inflated canonical JSON, no coding header.
+	req, _ = http.NewRequest(http.MethodGet, blobURL, nil)
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err = raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("identity GET: %s err=%v", resp.Status, err)
+	}
+	if resp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("identity response carries Content-Encoding %q", resp.Header.Get("Content-Encoding"))
+	}
+	if !bytes.Equal(body, canonical) {
+		t.Fatal("identity body is not the canonical JSON")
+	}
+
+	// Stock Go client: the transport's transparent gzip round trip
+	// lands on the same canonical bytes — pre-codec clients interop.
+	resp, err = http.Get(blobURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !bytes.Equal(body, canonical) {
+		t.Fatalf("transparent GET diverged: err=%v", err)
+	}
+
+	// Both codings share the digest ETag.
+	req, _ = http.NewRequest(http.MethodGet, blobURL, nil)
+	req.Header.Set("Accept-Encoding", "identity")
+	req.Header.Set("If-None-Match", `"`+k.Digest+`"`)
+	resp, err = raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional identity GET: %s, want 304", resp.Status)
+	}
+}
+
+// TestServerStatsCompressionAndLeases: /v1/stats reports raw vs
+// compressed bytes (the live compression ratio) and the daemon's lease
+// churn.
+func TestServerStatsCompressionAndLeases(t *testing.T) {
+	st, srv := newDaemon(t)
+	if err := st.Put(testKey(t, 0), testResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	digest := testKey(t, 1).Digest
+	post := func(op string, body any) {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+"/v1/leases/"+digest+"/"+op, "application/json",
+			bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	post("acquire", acquireRequest{Owner: "host-a", TTLNs: int64(time.Minute)})
+	post("acquire", acquireRequest{Owner: "host-b", TTLNs: int64(time.Minute)}) // busy
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RawBytes <= stats.Bytes || stats.CompressionRatio <= 1 {
+		t.Fatalf("compression accounting: %+v", stats)
+	}
+	if stats.Leases.Acquired != 1 || stats.Leases.Busy != 1 {
+		t.Fatalf("lease churn: %+v", stats.Leases)
 	}
 }

@@ -26,6 +26,13 @@ go test ./...
 echo "== go test -race (store, fleet, storenet) =="
 go test -race ./internal/store/... ./internal/fleet/... ./internal/storenet/... ./cmd/stored/...
 
+echo "== go test -race (v1->v2 blob migration) =="
+go test -race -run 'TestV1Blob|TestGetRawServesV1AsV2|TestMixedStoreRebuild|TestCorruptV2Blob' \
+	-count 2 ./internal/store
+
+echo "== blob codec benchmarks =="
+go test -run '^$' -bench 'BenchmarkBlob' -benchtime 20x -benchmem ./internal/store
+
 echo "== bench smoke =="
 ./scripts/bench_smoke.sh
 
