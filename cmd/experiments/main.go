@@ -9,7 +9,8 @@
 //	experiments [-scale quick|full] [-only <id>] [-out results/]
 //	            [-cache-dir DIR] [-store-url URL] [-no-cache]
 //	            [-fleet N] [-parallel N] [-lease-ttl D] [-owner ID]
-//	            [-shard-offset N|auto]
+//	            [-shard-offset N|auto] [-store-errors auto|abort|degrade]
+//	            [-reconcile]
 //	            [-gc] [-max-store-bytes N] [-max-store-age D]
 //	            [-gc-watermark-bytes N]
 //
@@ -46,6 +47,16 @@
 // -gc-watermark-bytes instead bounds the store automatically: after any
 // sweep that leaves it over the watermark, least-recently-used blobs
 // are evicted back under it without operator action.
+//
+// -store-errors selects what a store write or claim failure does to a
+// sweep: abort it, or degrade around it (unleased recompute on a failed
+// claim, unpersisted in-memory result on a failed write). The default,
+// auto, degrades exactly when the store has a local fallback tier
+// (-store-url combined with -cache-dir) and aborts otherwise. A run
+// that degraded prints a resilience stats line; writes the outage
+// deferred into the local tier's pending journal are replayed to the
+// daemon automatically when it returns, or explicitly with -reconcile,
+// which flushes the journal and exits without generating artefacts.
 package main
 
 import (
@@ -60,6 +71,7 @@ import (
 
 	"golatest/internal/core"
 	"golatest/internal/experiments"
+	"golatest/internal/fleet"
 	"golatest/internal/report"
 	"golatest/internal/store"
 	"golatest/internal/storenet"
@@ -118,6 +130,8 @@ func run(args []string, out io.Writer) error {
 		maxBytes  = fs.Int64("max-store-bytes", 0, "with -gc: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
 		maxAge    = fs.Duration("max-store-age", 0, "with -gc: evict blobs not accessed for longer than this (0 = no age bound)")
 		watermark = fs.Int64("gc-watermark-bytes", 0, "run a size-bounded GC pass automatically after any sweep that leaves the store over this many bytes (0 = off)")
+		storeErrs = fs.String("store-errors", "auto", "sweep response to store write/claim failures: abort, degrade (finish the sweep via the local tier), or auto (degrade exactly when a local fallback tier exists)")
+		reconcile = fs.Bool("reconcile", false, "replay the local tier's pending journal (writes deferred during a daemon outage) to -store-url, print what was flushed, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,6 +195,33 @@ func run(args []string, out io.Writer) error {
 		shardOffset = n
 	}
 
+	var storeErrors fleet.StoreErrorPolicy
+	switch *storeErrs {
+	case "", "auto":
+		storeErrors = fleet.StoreErrorsAuto
+	case "abort":
+		storeErrors = fleet.StoreErrorsAbort
+	case "degrade":
+		storeErrors = fleet.StoreErrorsDegrade
+	default:
+		return fmt.Errorf("-store-errors %q: want auto, abort, or degrade", *storeErrs)
+	}
+
+	if *reconcile {
+		r, ok := backend.(store.Resilient)
+		if !ok || !r.CanDegrade() {
+			return fmt.Errorf("-reconcile requires -store-url with -cache-dir (the pending journal lives in the local tier)")
+		}
+		before := r.Resilience()
+		n, err := r.Reconcile()
+		fmt.Fprintf(out, "reconcile: replayed %d blobs to %s, %d pending\n",
+			n, backend.Location(), r.Resilience().Pending)
+		if err != nil {
+			return fmt.Errorf("reconcile (after %d of %d pending): %w", n, before.Pending, err)
+		}
+		return nil
+	}
+
 	if backend == nil {
 		needsStore := ""
 		switch {
@@ -212,6 +253,7 @@ func run(args []string, out io.Writer) error {
 		GCWatermarkBytes: *watermark,
 		ShardOffset:      shardOffset,
 		AutoShardOffset:  autoOffset,
+		StoreErrors:      storeErrors,
 	})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {
@@ -231,6 +273,15 @@ func run(args []string, out io.Writer) error {
 			ct := suite.Contention()
 			fmt.Fprintf(out, "leases: %d claimed, %d waited, %d stolen\n",
 				ct.Claimed, ct.Waited, ct.Stolen)
+		}
+		// The resilience line only appears when an outage was actually
+		// absorbed somewhere — a clean run stays clean.
+		if r, ok := backend.(store.Resilient); ok {
+			rs, sr := r.Resilience(), suite.Resilience()
+			if rs.Degraded+rs.Deferred+rs.Reconciled+rs.Pending+sr.Degraded > 0 {
+				fmt.Fprintf(out, "resilience: %d degraded reads, %d deferred writes, %d reconciled, %d pending; %d sweep fallbacks\n",
+					rs.Degraded, rs.Deferred, rs.Reconciled, rs.Pending, sr.Degraded)
+			}
 		}
 		if *gc {
 			gs, err := backend.GC(store.GCPolicy{MaxBytes: *maxBytes, MaxAge: *maxAge})

@@ -482,3 +482,66 @@ func TestShardOffsetFlag(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreErrorsFlagValidation: the policy flag parses strictly, and
+// -reconcile demands the tiered store whose journal it flushes.
+func TestStoreErrorsFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-store-errors", "bogus", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("-store-errors bogus accepted")
+	}
+	if err := run([]string{"-reconcile", "-out", t.TempDir()}, &out); err == nil {
+		t.Error("-reconcile without a store accepted")
+	}
+	if err := run([]string{"-reconcile", "-cache-dir", t.TempDir(), "-out", t.TempDir()}, &out); err == nil {
+		t.Error("-reconcile with only a local store accepted (nothing to replay to)")
+	}
+}
+
+// TestDegradedRunThenReconcile is the operator's outage story end to
+// end through the CLI: a run whose daemon is unreachable completes via
+// the local tier (deferring its writes and printing the resilience stats
+// line), and a later -reconcile run against the recovered daemon
+// replays the journal.
+func TestDegradedRunThenReconcile(t *testing.T) {
+	cacheDir := t.TempDir()
+	outDir := t.TempDir()
+
+	// Phase 1: the daemon is down (a closed loopback port refuses
+	// instantly). The run must still produce its artefact.
+	var out bytes.Buffer
+	args := []string{"-scale", "quick", "-only", "fig3c",
+		"-store-url", "http://127.0.0.1:1", "-cache-dir", cacheDir,
+		"-store-errors", "degrade", "-out", outDir}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("degraded run failed: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "fig3_a100_max.txt")); err != nil {
+		t.Fatalf("degraded run produced no artefact: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "resilience:") || !strings.Contains(s, "deferred") {
+		t.Fatalf("no resilience stats line after a degraded run:\n%s", s)
+	}
+
+	// Phase 2: the daemon is back; -reconcile flushes the journal.
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storenet.NewServer(backing))
+	defer srv.Close()
+	out.Reset()
+	if err := run([]string{"-reconcile", "-store-url", srv.URL,
+		"-cache-dir", cacheDir, "-out", t.TempDir()}, &out); err != nil {
+		t.Fatalf("-reconcile: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "reconcile: replayed") {
+		t.Fatalf("no reconcile report:\n%s", out.String())
+	}
+	if backing.Len() == 0 {
+		t.Fatal("reconcile replayed nothing to the recovered daemon")
+	}
+	if strings.Contains(out.String(), "[fig3c") {
+		t.Fatal("-reconcile generated artefacts; it must flush and exit")
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	stored -dir DIR [-addr HOST:PORT] [-stats-every D]
 //	       [-gc-every D] [-gc-watermark-bytes N] [-max-store-age D]
+//	       [-drain-grace D]
 //
 // The directory is an ordinary internal/store directory: local
 // processes may keep sharing it by path while remote clients go through
@@ -22,8 +23,13 @@
 // traffic counters, and lease churn — so fleet health is visible from
 // the daemon's log without shelling into the store host.
 //
-// The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight
-// requests first. State lives entirely in the store directory, so a
+// The daemon serves k8s-style probes outside the versioned API:
+// GET /healthz is liveness (the process answers), GET /readyz is
+// readiness (the store directory accepts writes and the daemon is not
+// draining). On SIGINT/SIGTERM it exits cleanly: readiness flips to 503
+// immediately, the optional -drain-grace window lets balancers route
+// traffic away, then in-flight requests finish before the listener
+// closes. State lives entirely in the store directory, so a
 // restarted daemon resumes where the last one stopped — even leases
 // granted by the previous incarnation renew correctly (the lease token
 // is verified against the on-disk file, not an in-memory table).
@@ -68,6 +74,7 @@ type daemon struct {
 	ln         net.Listener
 	gcEvery    time.Duration
 	statsEvery time.Duration
+	drainGrace time.Duration
 	policy     store.GCPolicy
 
 	mu  sync.Mutex // serializes log lines (the GC/stats loops run concurrently)
@@ -87,6 +94,7 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		watermark  = fs.Int64("gc-watermark-bytes", 0, "with -gc-every: evict least-recently-used blobs until the store fits this many bytes (0 = no size bound)")
 		maxAge     = fs.Duration("max-store-age", 0, "with -gc-every: evict blobs not accessed for longer than this (0 = no age bound)")
 		statsEvery = fs.Duration("stats-every", 0, "period of the stats log line (blobs, bytes, compression ratio, traffic, lease churn; 0 = off)")
+		drainGrace = fs.Duration("drain-grace", 0, "on SIGINT/SIGTERM, keep serving for this long with /readyz answering 503 before shutting down (lets load balancers route traffic away; 0 = drain immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -111,6 +119,7 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		ln:         ln,
 		gcEvery:    *gcEvery,
 		statsEvery: *statsEvery,
+		drainGrace: *drainGrace,
 		policy:     store.GCPolicy{MaxBytes: *watermark, MaxAge: *maxAge},
 		out:        out,
 	}, nil
@@ -141,6 +150,15 @@ func (d *daemon) serve(ctx context.Context) error {
 	go func() { errc <- srv.Serve(d.ln) }()
 	select {
 	case <-ctx.Done():
+		// Two-phase drain: flip readiness first so probes and balancers
+		// stop sending new traffic, keep serving through the grace
+		// window, then Shutdown — which itself waits for in-flight
+		// requests before closing.
+		d.srv.SetDraining(true)
+		if d.drainGrace > 0 {
+			d.logf("stored: draining (grace %v)\n", d.drainGrace)
+			time.Sleep(d.drainGrace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -182,5 +183,81 @@ func TestDaemonStatsLine(t *testing.T) {
 			t.Fatalf("no stats line with blob/put/lease counts:\n%s", s)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// probeStatus fetches a probe path and returns its status code.
+func probeStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("probe %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestDaemonProbes covers the orchestration contract: /healthz answers
+// 200 for the life of the process, /readyz answers 200 while serving,
+// flips to 503 the moment a shutdown signal arrives (the -drain-grace
+// window, during which the daemon still serves traffic), and reflects a
+// store directory that stopped accepting writes.
+func TestDaemonProbes(t *testing.T) {
+	dir := t.TempDir()
+	out := &syncBuffer{}
+	d, err := newDaemon([]string{"-dir", dir, "-addr", "127.0.0.1:0", "-drain-grace", "750ms"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.serve(ctx) }()
+
+	if got := probeStatus(t, d.URL()+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", got)
+	}
+	if got := probeStatus(t, d.URL()+"/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", got)
+	}
+
+	// An unwritable store flips readiness but not liveness: restarting
+	// the process would not fix the directory.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := probeStatus(t, d.URL()+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with the store dir gone = %d, want 503", got)
+	}
+	if got := probeStatus(t, d.URL()+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz with the store dir gone = %d, want 200", got)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := probeStatus(t, d.URL()+"/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz after the dir returned = %d, want 200", got)
+	}
+
+	// Shutdown: within the drain grace the daemon still serves — with
+	// readiness already withdrawn.
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for probeStatus(t, d.URL()+"/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 after the shutdown signal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := probeStatus(t, d.URL()+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (still serving)", got)
+	}
+	if got := probeStatus(t, d.URL()+"/v1/stats"); got != http.StatusOK {
+		t.Fatalf("API while draining = %d, want 200 (in-flight traffic must finish)", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "draining") {
+		t.Fatalf("no drain log line:\n%s", s)
 	}
 }

@@ -101,6 +101,11 @@ type Options struct {
 	// fleet sweep owns the store whose plan it consults; outside it the
 	// offset stays at ShardOffset.
 	AutoShardOffset bool
+	// StoreErrors is handed to every fleet sweep: abort on store
+	// write/claim failures, degrade around them, or (the zero value)
+	// decide from whether the backend has a local fallback tier. See
+	// fleet.StoreErrorPolicy.
+	StoreErrors fleet.StoreErrorPolicy
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
@@ -121,6 +126,10 @@ type Suite struct {
 	// Lease-mode contention, accumulated over every fleet sweep this
 	// suite ran; see Contention.
 	claimed, waited, stolen atomic.Int64
+
+	// Store-failure resilience, accumulated over every fleet sweep; see
+	// Resilience.
+	degraded, deferred, reconciled atomic.Int64
 }
 
 // Contention reports the cross-process coordination a suite's sweeps
@@ -138,6 +147,24 @@ func (s *Suite) Contention() Contention {
 		Claimed: s.claimed.Load(),
 		Waited:  s.waited.Load(),
 		Stolen:  s.stolen.Load(),
+	}
+}
+
+// Resilience reports the store-failure fallbacks the suite's sweeps
+// absorbed under the degrade policy: Degraded counts fleet-level
+// fallbacks (unleased recomputes, unpersisted results), Deferred and
+// Reconciled count the resilient backend's write-behind journal
+// traffic during those sweeps. All zero when the store never failed.
+type Resilience struct {
+	Degraded, Deferred, Reconciled int64
+}
+
+// Resilience returns the accumulated store-resilience counters.
+func (s *Suite) Resilience() Resilience {
+	return Resilience{
+		Degraded:   s.degraded.Load(),
+		Deferred:   s.deferred.Load(),
+		Reconciled: s.reconciled.Load(),
 	}
 }
 
@@ -325,6 +352,7 @@ func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
 		Replicas:        s.opts.FleetReplicas,
 		ShardOffset:     s.opts.ShardOffset,
 		AutoShardOffset: s.opts.AutoShardOffset,
+		StoreErrors:     s.opts.StoreErrors,
 	}
 	if s.opts.Store != nil && s.opts.LeaseTTL > 0 {
 		fo.Store = s.opts.Store
@@ -346,6 +374,9 @@ func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
 		s.claimed.Add(int64(rep.Claimed))
 		s.waited.Add(int64(rep.Waited))
 		s.stolen.Add(int64(rep.Stolen))
+		s.degraded.Add(int64(rep.Degraded))
+		s.deferred.Add(int64(rep.Deferred))
+		s.reconciled.Add(int64(rep.Reconciled))
 	}
 	if err != nil {
 		return nil, err

@@ -123,6 +123,47 @@ type Options struct {
 	// arbitrates correctness. Overrides ShardOffset when it finds a
 	// starting point.
 	AutoShardOffset bool
+
+	// StoreErrors selects what a store write or claim failure does to
+	// the sweep: abort it (the pre-resilience behavior) or degrade
+	// around it. The zero value resolves automatically: degrade when the
+	// store reports a local fallback tier (store.Resilient with
+	// CanDegrade), abort otherwise.
+	StoreErrors StoreErrorPolicy
+}
+
+// StoreErrorPolicy is a sweep's response to store write/claim failures.
+// Read failures are unaffected — the Backend contract already degrades
+// every read to a recoverable miss.
+type StoreErrorPolicy int
+
+const (
+	// StoreErrorsAuto resolves to Degrade when Options.Store implements
+	// store.Resilient and reports CanDegrade (a tiered storenet.Client
+	// with a local cache), Abort otherwise. The zero value, so existing
+	// callers keep strict semantics on non-resilient stores.
+	StoreErrorsAuto StoreErrorPolicy = iota
+	// StoreErrorsAbort stops the sweep on the first store write or
+	// claim error — a store that cannot accept results must not let the
+	// fleet silently recompute forever.
+	StoreErrorsAbort
+	// StoreErrorsDegrade finishes the sweep despite store failures: a
+	// failed lease acquire falls back to unleased recompute (duplicate
+	// work across peers at worst — results are deterministic, so never
+	// wrong ones), and a failed Put keeps the result in the report and
+	// moves on. Each fallback ticks Report.Degraded.
+	StoreErrorsDegrade
+)
+
+func (p StoreErrorPolicy) String() string {
+	switch p {
+	case StoreErrorsAbort:
+		return "abort"
+	case StoreErrorsDegrade:
+		return "degrade"
+	default:
+		return "auto"
+	}
 }
 
 func (o Options) replicas(shards int) int {
@@ -171,6 +212,17 @@ type Report struct {
 	// waiting on a peer's claim, Stolen counts expired leases it took
 	// over from dead peers.
 	Claimed, Waited, Stolen int
+	// Degraded counts the sweep's own store-failure fallbacks under the
+	// degrade policy: lease acquires that fell back to unleased
+	// recompute, and Puts whose failure was absorbed (result kept in
+	// the report, not persisted).
+	Degraded int
+	// Deferred and Reconciled mirror the resilient backend's journal
+	// traffic attributable to this sweep (deltas of its
+	// store.Resilient counters across the sweep): writes that landed
+	// local-plus-journal instead of the remote, and journal entries
+	// replayed to the remote while the sweep ran.
+	Deferred, Reconciled int
 	// GC carries the stats of the watermark GC pass that followed the
 	// sweep, when Options.GCWatermarkBytes triggered one; nil otherwise.
 	GC *store.GCStats
@@ -249,11 +301,29 @@ var errAborted = errors.New("fleet: sweep aborted")
 
 // sweeper carries one Sweep invocation's shared state.
 type sweeper struct {
-	opts  Options
-	owner string
+	opts    Options
+	owner   string
+	degrade bool // resolved StoreErrors policy
 
 	failed                                  atomic.Bool
 	hits, computed, claimed, waited, stolen atomic.Int64
+	degraded                                atomic.Int64
+}
+
+// resolvePolicy turns StoreErrorsAuto into a concrete choice: degrade
+// exactly when the store advertises a local fallback tier.
+func resolvePolicy(p StoreErrorPolicy, b store.Backend) bool {
+	switch p {
+	case StoreErrorsDegrade:
+		return true
+	case StoreErrorsAbort:
+		return false
+	default:
+		if r, ok := b.(store.Resilient); ok {
+			return r.CanDegrade()
+		}
+		return false
+	}
 }
 
 // defaultOwner derives a lease owner id unique enough for a fleet:
@@ -299,6 +369,16 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 	if sw.owner == "" {
 		sw.owner = defaultOwner()
 	}
+	var before store.ResilienceStats
+	if opts.Store != nil {
+		sw.degrade = resolvePolicy(opts.StoreErrors, opts.Store)
+		if r, ok := opts.Store.(store.Resilient); ok {
+			// Snapshot the backend's journal counters so the report can
+			// attribute this sweep's share of deferred/reconciled traffic
+			// (the backend's totals span its whole lifetime).
+			before = r.Resilience()
+		}
+	}
 
 	offset := shardOffset(profiles, opts)
 	rep.ShardOffset = offset
@@ -333,6 +413,14 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 	rep.Claimed = int(sw.claimed.Load())
 	rep.Waited = int(sw.waited.Load())
 	rep.Stolen = int(sw.stolen.Load())
+	rep.Degraded = int(sw.degraded.Load())
+	if opts.Store != nil {
+		if r, ok := opts.Store.(store.Resilient); ok {
+			after := r.Resilience()
+			rep.Deferred = int(after.Deferred - before.Deferred)
+			rep.Reconciled = int(after.Reconciled - before.Reconciled)
+		}
+	}
 
 	var shardErr error
 	for i := range rep.Shards {
@@ -442,6 +530,14 @@ func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
 	for {
 		lease, ok, err := st.TryAcquire(sh.Key.Digest, w.owner, w.opts.LeaseTTL)
 		if err != nil {
+			if w.degrade {
+				// The lease arbiter is unreachable. Compute unleased: a
+				// peer may duplicate this shard, but campaigns are
+				// deterministic, so duplicated work writes identical bytes
+				// — never a wrong result, and never a lost shard.
+				w.degraded.Add(1)
+				return w.computeAndPersist(sh, cfg, nil)
+			}
 			return fmt.Errorf("claim: %w", err)
 		}
 		if ok {
@@ -507,8 +603,15 @@ func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease store.Leas
 	if w.opts.Store != nil {
 		// A failed write means the store the caller asked for is broken
 		// (full disk, bad permissions); surfacing it beats silently
-		// recomputing every shard forever.
+		// recomputing every shard forever — unless the degrade policy
+		// says otherwise, in which case the result stays in the report
+		// (this process loses nothing) and only the shared tier misses
+		// it until a future sweep recomputes or reconciles.
 		if err := w.opts.Store.Put(sh.Key, res); err != nil {
+			if w.degrade {
+				w.degraded.Add(1)
+				return nil
+			}
 			return fmt.Errorf("persist: %w", err)
 		}
 	}

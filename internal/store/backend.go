@@ -71,6 +71,41 @@ type LeaseHandle interface {
 	Release() error
 }
 
+// ResilienceStats reports a backend's degraded-mode traffic: what it
+// absorbed, deferred, and healed while its remote tier was unavailable.
+type ResilienceStats struct {
+	// Degraded counts requests the backend answered without the remote
+	// because its circuit breaker was open — reads served local-only (or
+	// fast-failed to a miss) instead of waiting out a network timeout.
+	Degraded int64
+	// Deferred counts writes that landed in the local tier plus the
+	// write-behind journal instead of the remote.
+	Deferred int64
+	// Reconciled counts journaled writes since replayed to the remote.
+	Reconciled int64
+	// Pending counts journal entries not yet replayed.
+	Pending int64
+}
+
+// Resilient is implemented by backends that survive a remote outage by
+// degrading to a local tier (storenet.Client with a cache configured).
+// Blobs are content-addressed and immutable, so the degraded contract
+// is safe by construction: a deferred write holds exactly the bytes the
+// remote would have stored, replaying it is idempotent, and no reader
+// can ever observe a wrong result — only a temporarily smaller store.
+type Resilient interface {
+	// CanDegrade reports whether a local tier absorbs remote failures —
+	// the signal fleet sweeps use to default their store-error policy.
+	CanDegrade() bool
+	// Resilience snapshots the degraded-mode counters.
+	Resilience() ResilienceStats
+	// Reconcile replays the write-behind journal to the remote,
+	// returning how many blobs were replayed. Idempotent: replayed
+	// entries leave the journal, and an entry whose blob has since been
+	// evicted locally is dropped (the result recomputes on demand).
+	Reconcile() (int, error)
+}
+
 var (
 	_ Backend     = (*Store)(nil)
 	_ LeaseHandle = (*Lease)(nil)

@@ -223,6 +223,22 @@ func (s *Store) Dir() string { return s.dir }
 // directory.
 func (s *Store) Location() string { return s.dir }
 
+// Ready probes whether the store can currently accept writes: the
+// directory exists and a staging file can be created in it — the same
+// operation every Put begins with. It is the readiness half of a
+// daemon's health contract (storenet's /readyz); liveness needs no
+// store at all.
+func (s *Store) Ready() error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"ready-")
+	if err != nil {
+		return fmt.Errorf("store: %s not writable: %w", s.dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
+
 // Counters returns a snapshot of the traffic counters.
 func (s *Store) Counters() Counters {
 	return Counters{

@@ -1,0 +1,130 @@
+package storenet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"golatest/internal/core"
+	"golatest/internal/store"
+)
+
+func benchKey(b *testing.B, instance int) store.Key {
+	b.Helper()
+	k, err := store.KeyFor("a100", instance, 42, core.Config{
+		Frequencies: []float64{705, 1410},
+		Seed:        uint64(1000 + instance),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+// BenchmarkBreakerOpenGet measures the fast-fail path: the breaker is
+// already open, so a Get costs one atomic state check and a clock read —
+// no dial, no retries, no backoff. This is the latency a degraded sweep
+// pays per store touch while the daemon is down; contrast with
+// BenchmarkTimeoutRetryGet, which is the same outage without a breaker.
+func BenchmarkBreakerOpenGet(b *testing.B) {
+	// Port 1 on loopback refuses instantly, so tripping the breaker in
+	// the setup phase is cheap and no server needs to run.
+	c, err := NewClient("http://127.0.0.1:1", ClientOptions{
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour, // stays open for the whole run
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := benchKey(b, 0)
+	c.Get(k) // trip
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(k); ok {
+			b.Fatal("fast-fail Get hit")
+		}
+	}
+}
+
+// BenchmarkTimeoutRetryGet is the no-breaker baseline for the same
+// outage class: a daemon that accepts and hangs costs a full
+// RequestTimeout per attempt, every operation, forever. The
+// breaker_fastfail_speedup figure in BENCH_campaign.json is this
+// benchmark over BenchmarkBreakerOpenGet.
+func BenchmarkTimeoutRetryGet(b *testing.B) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer hang.Close()
+	c, err := NewClient(hang.URL, ClientOptions{
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		RequestTimeout:   20 * time.Millisecond,
+		BreakerThreshold: -1, // the pre-breaker client
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := benchKey(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(k); ok {
+			b.Fatal("Get hit against a hanging daemon")
+		}
+	}
+}
+
+// BenchmarkDegradedWarmGet is a warm read in degraded mode: breaker
+// open, blob in the local tier. Together with BenchmarkLocalWarmGet it
+// yields degraded_warm_overhead — what the tiered client's fallback
+// machinery adds on top of a plain local store hit, i.e. the read-path
+// cost of surviving an outage.
+func BenchmarkDegradedWarmGet(b *testing.B) {
+	cache, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewClient("http://127.0.0.1:1", ClientOptions{
+		Cache:            cache,
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := benchKey(b, 0)
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		b.Fatal(err) // deferred into the local tier; also trips the breaker
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("degraded warm Get missed the local tier")
+		}
+	}
+}
+
+// BenchmarkLocalWarmGet is the denominator for degraded_warm_overhead:
+// the same warm read against the bare local store, no network client in
+// the path.
+func BenchmarkLocalWarmGet(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := benchKey(b, 0)
+	if err := st.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Get(k); !ok {
+			b.Fatal("warm Get missed")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package storenet
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker defaults; ClientOptions overrides both.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 2 * time.Second
+)
+
+// breaker states. Closed passes traffic; open fast-fails everything
+// until the cooldown elapses; half-open admits exactly one probe whose
+// outcome decides between closed and another open period.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker over the client's
+// network attempts. Its job is latency containment, not correctness:
+// once the daemon is evidently down, every further request would burn a
+// full timeout-and-retry cycle per store operation and stall the whole
+// worker pool — the breaker converts those stalls into immediate
+// ErrUnavailable failures, which the tiered client absorbs in degraded
+// mode and the fleet's store-error policy survives.
+type breaker struct {
+	threshold int // consecutive failures that open the circuit; < 0 disables
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether an attempt may touch the network. While open it
+// fast-fails everything until the cooldown elapses, then admits exactly
+// one half-open probe; while the probe is in flight everyone else keeps
+// fast-failing (a thundering herd against a barely-recovered daemon is
+// how outages restart).
+func (b *breaker) allow() bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// record feeds one attempt's outcome. It reports whether this outcome
+// closed a previously open circuit — the recovery edge the client's
+// background reconciler hangs off.
+func (b *breaker) record(ok bool) (recovered bool) {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		recovered = b.state != breakerClosed
+		b.state = breakerClosed
+		b.fails = 0
+		return recovered
+	}
+	b.fails++
+	// A failed half-open probe reopens immediately; in the closed state
+	// the consecutive-failure threshold decides. Failures recorded while
+	// already open (attempts that were in flight when the circuit
+	// tripped) change nothing — they are evidence of the same outage,
+	// not a new one, and must not extend the cooldown.
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+	return false
+}
+
+// reset forces the circuit closed. An explicit Reconcile calls it: the
+// operator (or recovery path) is asserting the remote is back, and the
+// replay's own requests will re-open the circuit if it is not.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}

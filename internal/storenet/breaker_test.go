@@ -1,0 +1,115 @@
+package storenet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an advanceable clock for breaker tests — no sleeping.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+
+	// Closed passes traffic; failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		if b.record(false) {
+			t.Fatal("failure reported a recovery")
+		}
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused below threshold")
+	}
+	// Third consecutive failure trips it.
+	b.record(false)
+	if b.allow() {
+		t.Fatal("open breaker admitted an attempt")
+	}
+
+	// Failures recorded while open (in-flight stragglers) must not
+	// extend the cooldown.
+	clk.advance(900 * time.Millisecond)
+	b.record(false)
+	clk.advance(100 * time.Millisecond)
+
+	// Cooldown elapsed: exactly one half-open probe goes out.
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// A failed probe reopens immediately.
+	b.record(false)
+	if b.allow() {
+		t.Fatal("breaker admitted traffic right after a failed probe")
+	}
+
+	// Next cooldown, successful probe closes it and reports recovery.
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	if !b.record(true) {
+		t.Fatal("successful probe did not report the recovery edge")
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+	// A success in the closed state is not a recovery.
+	if b.record(true) {
+		t.Fatal("steady-state success reported a recovery")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	// The threshold counts *consecutive* failures: an interleaved
+	// success starts the count over.
+	b.record(false)
+	b.record(false)
+	b.record(true)
+	b.record(false)
+	b.record(false)
+	if !b.allow() {
+		t.Fatal("breaker opened on non-consecutive failures")
+	}
+	b.record(false)
+	if b.allow() {
+		t.Fatal("breaker stayed closed past the threshold")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second, nil)
+	for i := 0; i < 100; i++ {
+		if !b.allow() {
+			t.Fatal("disabled breaker refused traffic")
+		}
+		b.record(false)
+	}
+	if !b.allow() {
+		t.Fatal("disabled breaker opened")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Hour, clk.now)
+	b.record(false)
+	if b.allow() {
+		t.Fatal("breaker did not open at threshold 1")
+	}
+	b.reset()
+	if !b.allow() {
+		t.Fatal("reset did not close the breaker")
+	}
+}

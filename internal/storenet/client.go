@@ -2,11 +2,15 @@ package storenet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +18,23 @@ import (
 
 	"golatest/internal/core"
 	"golatest/internal/store"
+)
+
+// ErrUnavailable marks a request fast-failed by the open circuit
+// breaker: the daemon is evidently down and the client refused to burn
+// a timeout finding out again. Reads treat it as a miss; Put falls back
+// to the deferred (write-behind) path when a local tier exists.
+var ErrUnavailable = errors.New("storenet: store unavailable (circuit open)")
+
+// Write-behind journal layout: one empty marker file per deferred
+// digest, in a subdirectory of the cache store's directory. The store's
+// own scans (manifest rebuild, GC, blob counting) skip directories, so
+// the journal is invisible to the local tier's machinery; the blob
+// bytes themselves live in the cache as ordinary blobs, the marker only
+// records "the daemon has not seen this one yet".
+const (
+	pendingDirName = "pending"
+	pendingSuffix  = ".pend"
 )
 
 // Client speaks the v1 API to a stored daemon and implements
@@ -34,42 +55,98 @@ import (
 //
 // Reads degrade, writes surface — the Backend contract. Idempotent
 // verbs (GET, HEAD, PUT: content-addressed, same bytes every time) are
-// retried with backoff on connection errors and 5xx responses; lease
-// operations are never retried, because an acquire whose response was
-// lost may have been granted — the claim loop's wait/steal path
+// retried with jittered backoff on connection errors and 5xx responses;
+// lease operations are never retried, because an acquire whose response
+// was lost may have been granted — the claim loop's wait/steal path
 // resolves that ambiguity within one TTL, which a blind retry would
-// turn into a self-steal.
+// turn into a self-steal. Every attempt carries its own request
+// deadline (Options.RequestTimeout), so one hung response costs one
+// attempt, never the whole retry budget.
 //
 // A Get whose response body is truncated, tampered with, or otherwise
 // fails validation (store.ValidateBlob: envelope, schema, digest) is a
 // miss and ticks the Corrupt counter — the caller recomputes and the
 // subsequent Put heals both tiers, mirroring the local corrupt-blob
 // path. It is never an error and can never yield a wrong result.
+//
+// # Circuit breaker and degraded mode
+//
+// Consecutive attempt failures open a circuit breaker: while it is
+// open, requests fail immediately with ErrUnavailable instead of each
+// burning a timeout-and-retry cycle, and after a cooldown a single
+// half-open probe decides whether to close it. With a local tier
+// configured the client then runs in degraded mode rather than
+// failing: Gets serve local-only, and Puts land in the local tier plus
+// a write-behind journal (pending/ inside the cache directory) that
+// Reconcile — explicit, or kicked off automatically when the breaker
+// closes — replays to the daemon. Blobs are content-addressed and
+// immutable, so the replay is idempotent and byte-identical to what a
+// healthy Put would have stored: degraded mode trades away only
+// freshness of the shared tier, never correctness or exactly-once
+// artefacts. Resilience() reports the degraded/deferred/reconciled
+// traffic.
 type Client struct {
-	base    string
-	hc      *http.Client
-	cache   *store.Store
-	retries int
-	backoff time.Duration
+	base       string
+	hc         *http.Client
+	cache      *store.Store
+	retries    int
+	backoff    time.Duration
+	reqTimeout time.Duration
+	br         *breaker
 
-	hits, misses, corrupt, puts atomic.Int64
+	// jstate is the retry-jitter RNG state, advanced atomically per
+	// draw; seeding it (ClientOptions.Seed) makes the jitter sequence —
+	// and thus every backoff schedule — reproducible in tests.
+	jstate atomic.Uint64
+
+	// pendingDir is the write-behind journal: one empty marker file per
+	// deferred digest, persisted inside the cache directory so an
+	// interrupted process's deferred writes survive to the next
+	// Reconcile (the experiments -reconcile flag).
+	pendingDir  string
+	reconcileMu sync.Mutex
+
+	hits, misses, corrupt, puts             atomic.Int64
+	degraded, deferred, reconciled, pending atomic.Int64
 }
 
 // ClientOptions configures a Client; the zero value works.
 type ClientOptions struct {
-	// Cache, when non-nil, is the local write-through tier.
+	// Cache, when non-nil, is the local write-through tier — and the
+	// degraded-mode fallback: with it set, an unreachable daemon means
+	// local-only reads and journaled (deferred) writes instead of
+	// errors.
 	Cache *store.Store
-	// HTTPClient overrides the default client (keep-alive transport,
-	// 60 s request timeout).
+	// HTTPClient overrides the default client (keep-alive transport).
+	// Per-attempt deadlines come from RequestTimeout either way.
 	HTTPClient *http.Client
 	// Retries is the attempt budget per idempotent request; 0 means 3.
 	Retries int
-	// RetryBackoff is the initial retry delay, doubling per attempt;
-	// 0 means 50 ms.
+	// RetryBackoff is the initial retry delay, doubling per attempt
+	// with up to 50% seeded jitter on top; 0 means 50 ms.
 	RetryBackoff time.Duration
+	// RequestTimeout bounds each attempt (not the whole retry budget)
+	// via a per-request context, so one hung response cannot consume
+	// every retry's worth of wall clock. 0 means 15 s.
+	RequestTimeout time.Duration
+	// BreakerThreshold is how many consecutive attempt failures open
+	// the circuit breaker; 0 means 5, negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// admitting a half-open probe; 0 means 2 s.
+	BreakerCooldown time.Duration
+	// Seed derives the retry-jitter sequence. Two clients with distinct
+	// seeds (derive it from the fleet owner id) desynchronise their
+	// retry storms; equal seeds reproduce schedules exactly, which is
+	// what keeps fault-injection tests deterministic. 0 is a valid
+	// seed.
+	Seed uint64
 }
 
-var _ store.Backend = (*Client)(nil)
+var (
+	_ store.Backend   = (*Client)(nil)
+	_ store.Resilient = (*Client)(nil)
+)
 
 // NewClient validates the base URL (http or https, e.g. the
 // "http://host:8417" a stored daemon prints) and builds the backend.
@@ -86,9 +163,11 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 	hc := opts.HTTPClient
 	if hc == nil {
 		// One client per fleet process issues many small requests to one
-		// host: keep-alive connection reuse is the whole ballgame.
+		// host: keep-alive connection reuse is the whole ballgame. No
+		// blanket Timeout — each attempt carries its own context
+		// deadline (RequestTimeout), which is what lets a retry start
+		// the moment its predecessor hangs.
 		hc = &http.Client{
-			Timeout: 60 * time.Second,
 			Transport: &http.Transport{
 				MaxIdleConns:        64,
 				MaxIdleConnsPerHost: 16,
@@ -104,13 +183,34 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
-	return &Client{
-		base:    strings.TrimRight(u.String(), "/"),
-		hc:      hc,
-		cache:   opts.Cache,
-		retries: retries,
-		backoff: backoff,
-	}, nil
+	reqTimeout := opts.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 15 * time.Second
+	}
+	c := &Client{
+		base:       strings.TrimRight(u.String(), "/"),
+		hc:         hc,
+		cache:      opts.Cache,
+		retries:    retries,
+		backoff:    backoff,
+		reqTimeout: reqTimeout,
+		br:         newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, nil),
+	}
+	c.jstate.Store(opts.Seed ^ 0x9e3779b97f4a7c15)
+	if opts.Cache != nil {
+		c.pendingDir = filepath.Join(opts.Cache.Dir(), pendingDirName)
+		// Count journal entries a previous process left behind, so
+		// Resilience().Pending is right from the first call and the
+		// recovery edge knows there is something to replay.
+		if entries, err := os.ReadDir(c.pendingDir); err == nil {
+			for _, de := range entries {
+				if !de.IsDir() && strings.HasSuffix(de.Name(), pendingSuffix) {
+					c.pending.Add(1)
+				}
+			}
+		}
+	}
+	return c, nil
 }
 
 // Location implements Backend: a remote store is located at its URL.
@@ -128,11 +228,85 @@ func (c *Client) leaseURL(digest, op string) string {
 	return u
 }
 
+// jitter draws the next seeded jitter value in [0, max]. Without it,
+// every worker in a fleet that hits the same blip sleeps the identical
+// deterministic backoff and retries in lockstep — N synchronized
+// retry waves against a daemon that is trying to come back. The draw
+// is a splitmix64 step over atomic state: deterministic per seed (so
+// fault-injection tests reproduce schedules exactly), distinct per
+// seed across a fleet.
+func (c *Client) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	z := c.jstate.Add(0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return time.Duration(z % uint64(max+1))
+}
+
+// newAttempt builds one request under its own deadline. The returned
+// cancel must run once the attempt's response is fully consumed —
+// success paths hand it to cancelBody (fired on Body.Close), failure
+// paths call it directly.
+func (c *Client) newAttempt(method, u string, body []byte, rawEncoding bool) (*http.Request, context.CancelFunc, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if rawEncoding {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+		if store.IsGzipBlob(body) {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+	}
+	return req, cancel, nil
+}
+
+// cancelBody ties an attempt's context to its response body: the
+// deadline must outlive the body read (cancelling earlier would kill
+// the transfer mid-stream), and every response path already closes the
+// body to recycle the keep-alive connection.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// recordAttempt feeds the breaker and, on the open→closed recovery
+// edge, kicks the background reconciler when deferred writes are
+// waiting — the "heal the remote when it returns" half of degraded
+// mode, with no operator in the loop.
+func (c *Client) recordAttempt(ok bool) {
+	if c.br.record(ok) && c.pending.Load() > 0 {
+		go func() { _, _ = c.Reconcile() }()
+	}
+}
+
 // doIdempotent issues one GET/HEAD/PUT with bounded retries on
-// connection errors and 5xx responses. The body, when present, is
-// replayed from memory on every attempt. 4xx responses return
-// immediately — retrying a request the server understood and refused
-// only repeats the refusal.
+// connection errors and 5xx responses, each attempt under its own
+// RequestTimeout deadline. The body, when present, is replayed from
+// memory on every attempt. 4xx responses return immediately — retrying
+// a request the server understood and refused only repeats the
+// refusal. While the circuit breaker is open the whole call fails
+// immediately with ErrUnavailable — no connection, no sleep.
 //
 // rawEncoding (blob requests only) sets Accept-Encoding explicitly,
 // which (per net/http) disables the transport's transparent
@@ -146,53 +320,73 @@ func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff << (attempt - 1))
+			d := c.backoff << (attempt - 1)
+			time.Sleep(d + c.jitter(d/2))
 		}
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
+		if !c.br.allow() {
+			// Fail the operation, not just the attempt: the remaining
+			// retries would fast-fail identically, and sleeping between
+			// them is exactly the stall the breaker exists to remove.
+			return nil, fmt.Errorf("storenet: %s %s: %w", method, u, ErrUnavailable)
 		}
-		req, err := http.NewRequest(method, u, rd)
+		req, cancel, err := c.newAttempt(method, u, body, rawEncoding)
 		if err != nil {
 			return nil, err
 		}
-		if rawEncoding {
-			req.Header.Set("Accept-Encoding", "gzip")
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-			if store.IsGzipBlob(body) {
-				req.Header.Set("Content-Encoding", "gzip")
-			}
-		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			cancel()
+			c.recordAttempt(false)
 			lastErr = err
 			continue
 		}
 		if resp.StatusCode >= 500 {
 			drain(resp)
+			cancel()
+			c.recordAttempt(false)
 			lastErr = fmt.Errorf("storenet: %s %s: %s", method, u, resp.Status)
 			continue
 		}
+		c.recordAttempt(true)
+		resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
 		return resp, nil
 	}
 	return nil, fmt.Errorf("storenet: %s %s: giving up after %d attempts: %w",
 		method, u, c.retries, lastErr)
 }
 
-// doOnce issues one non-idempotent (lease) request, exactly once.
+// doOnce issues one non-idempotent (lease) request, exactly once,
+// under one RequestTimeout deadline. Lease traffic shares the breaker:
+// its failures are the same daemon being down, and while the circuit
+// is open a claim fast-fails with ErrUnavailable — which the fleet's
+// degrade policy turns into an unleased recompute instead of an
+// aborted sweep.
 func (c *Client) doOnce(u string, body any) (*http.Response, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(data))
+	if !c.br.allow() {
+		return nil, fmt.Errorf("storenet: POST %s: %w", u, ErrUnavailable)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(data))
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return c.hc.Do(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		c.recordAttempt(false)
+		return nil, err
+	}
+	// Any response is a live daemon — a 409 busy lease is the protocol
+	// working, not a failure.
+	c.recordAttempt(true)
+	resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
 }
 
 // drain discards and closes a response body so the connection returns
@@ -254,6 +448,12 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	}
 	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(k.Digest), nil, true)
 	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			// Degraded read: the local tier (checked above) was the whole
+			// answer. A miss here is recoverable — the caller recomputes —
+			// and it cost microseconds instead of a timeout.
+			c.degraded.Add(1)
+		}
 		c.misses.Add(1)
 		return nil, false
 	}
@@ -291,6 +491,13 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 // Put), then the local tier (best-effort, the same bytes verbatim).
 // The wire carries the compressed bytes under Content-Encoding: gzip;
 // the daemon stores them as-is after validation.
+//
+// When the daemon is unreachable (breaker open, or the retry budget
+// exhausted on transport/5xx failures) and a local tier exists, the Put
+// defers instead of failing: the blob lands locally and a journal
+// marker records it for Reconcile. A 4xx refusal never defers — the
+// daemon saw the request and rejected it, so replaying the identical
+// bytes later would fail identically.
 func (c *Client) Put(k store.Key, res *core.Result) error {
 	if res == nil {
 		return fmt.Errorf("storenet: nil result for %s", k)
@@ -301,6 +508,9 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 	}
 	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data, true)
 	if err != nil {
+		if c.cache != nil {
+			return c.deferPut(k, data, err)
+		}
 		return fmt.Errorf("storenet: put %s: %w", k, err)
 	}
 	drain(resp)
@@ -316,6 +526,12 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 			return fmt.Errorf("storenet: encode %s: %w", k, perr)
 		}
 		if resp, err = c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), plain, true); err != nil {
+			if c.cache != nil {
+				// The daemon vanished between the refusal and the
+				// fallback; journal the compressed container — the local
+				// tier's native format — and let Reconcile sort it out.
+				return c.deferPut(k, data, err)
+			}
 			return fmt.Errorf("storenet: put %s: %w", k, err)
 		}
 		drain(resp)
@@ -332,6 +548,117 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 	}
 	c.puts.Add(1)
 	return nil
+}
+
+// deferPut is the degraded write path: land the blob in the local tier,
+// then journal it for replay. Both steps must succeed for the Put to
+// count as durable — a blob we could neither send nor keep is a real
+// write failure and surfaces as one (wrapping cause, the network error
+// that forced the deferral).
+func (c *Client) deferPut(k store.Key, data []byte, cause error) error {
+	if err := c.cache.PutRaw(k.Digest, data); err != nil {
+		return fmt.Errorf("storenet: put %s: remote %v; local tier: %w", k, cause, err)
+	}
+	if err := c.markPending(k.Digest); err != nil {
+		return fmt.Errorf("storenet: put %s: remote %v; journal: %w", k, cause, err)
+	}
+	c.deferred.Add(1)
+	c.puts.Add(1)
+	return nil
+}
+
+// markPending records a digest in the write-behind journal. O_EXCL
+// makes the marker idempotent per digest: re-deferring a blob already
+// journaled (same content, content-addressed) is a no-op and the
+// pending gauge counts files, not events.
+func (c *Client) markPending(digest string) error {
+	if err := os.MkdirAll(c.pendingDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(c.pendingDir, digest+pendingSuffix),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil
+		}
+		return err
+	}
+	f.Close()
+	c.pending.Add(1)
+	return nil
+}
+
+// CanDegrade implements store.Resilient: a local tier is what degraded
+// mode degrades to.
+func (c *Client) CanDegrade() bool { return c.cache != nil }
+
+// Resilience implements store.Resilient.
+func (c *Client) Resilience() store.ResilienceStats {
+	return store.ResilienceStats{
+		Degraded:   c.degraded.Load(),
+		Deferred:   c.deferred.Load(),
+		Reconciled: c.reconciled.Load(),
+		Pending:    c.pending.Load(),
+	}
+}
+
+// Reconcile replays the write-behind journal to the daemon, returning
+// how many blobs were uploaded. It first force-closes the breaker —
+// calling Reconcile is an assertion the daemon is back, and if it is
+// not, the replay's own failures re-open the circuit and the remaining
+// markers stay journaled for the next pass. Entries whose blob has been
+// evicted from the local tier are dropped: the result is recomputable
+// on demand, and a marker with nothing to replay is debris.
+//
+// Replay is idempotent by construction: blobs are content-addressed and
+// immutable, so re-uploading one the daemon already has (e.g. a crash
+// between upload and marker removal, or a peer that raced us) stores
+// the identical bytes under the identical digest.
+func (c *Client) Reconcile() (int, error) {
+	c.reconcileMu.Lock()
+	defer c.reconcileMu.Unlock()
+	if c.pendingDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(c.pendingDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("storenet: reconcile: %w", err)
+	}
+	c.br.reset()
+	replayed := 0
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, pendingSuffix) {
+			continue
+		}
+		digest := strings.TrimSuffix(name, pendingSuffix)
+		marker := filepath.Join(c.pendingDir, name)
+		data, ok := c.cache.GetRaw(digest)
+		if !ok {
+			// Evicted locally: nothing to replay. Drop the marker.
+			if os.Remove(marker) == nil {
+				c.pending.Add(-1)
+			}
+			continue
+		}
+		resp, err := c.doIdempotent(http.MethodPut, c.blobURL(digest), data, true)
+		if err != nil {
+			return replayed, fmt.Errorf("storenet: reconcile %s: %w", digest, err)
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			return replayed, fmt.Errorf("storenet: reconcile %s: %s", digest, resp.Status)
+		}
+		if os.Remove(marker) == nil {
+			c.pending.Add(-1)
+		}
+		c.reconciled.Add(1)
+		replayed++
+	}
+	return replayed, nil
 }
 
 // Has probes existence without counters: local tier, then a HEAD.

@@ -105,10 +105,19 @@ func TestClientCacheTier(t *testing.T) {
 		t.Fatalf("local-tier Get after daemon death: %+v ok=%v", res, ok)
 	}
 
-	// Writes need the daemon: Put must surface its absence, not drop
-	// the result silently into the local tier alone.
-	if err := c.Put(testKey(t, 1), testResult(1)); err == nil {
-		t.Fatal("Put succeeded with the daemon down")
+	// Writes no longer need the daemon: with a local tier, a Put that
+	// cannot reach it defers — the blob lands locally and the pending
+	// journal records it for Reconcile.
+	k1 := testKey(t, 1)
+	if err := c.Put(k1, testResult(1)); err != nil {
+		t.Fatalf("deferred Put with the daemon down: %v", err)
+	}
+	if !cache.Has(k1) {
+		t.Fatal("deferred Put did not land in the local tier")
+	}
+	rs := c.Resilience()
+	if rs.Deferred != 1 || rs.Pending != 1 {
+		t.Fatalf("Resilience after deferred Put = %+v, want Deferred=1 Pending=1", rs)
 	}
 }
 

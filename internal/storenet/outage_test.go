@@ -1,0 +1,193 @@
+package storenet
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"golatest/internal/core"
+	"golatest/internal/fleet"
+	"golatest/internal/hwprofile"
+	"golatest/internal/store"
+	"golatest/internal/storenet/faults"
+)
+
+// TestSweepSurvivesStoredOutage is the acceptance contract of the
+// resilient store tier, extending the TestCrossHostSweepPartition
+// family: a lease-mode sweep whose only shared store is a loopback
+// stored daemon has that daemon killed mid-sweep — deterministically,
+// from inside the Nth shard's compute — and must (a) complete every
+// shard via the local tier with zero lost shards, (b) account for the
+// outage in the report's Degraded/Deferred counters, and (c) after the
+// daemon returns, reconcile the remote store to blobs byte-identical
+// with the local tier's.
+func TestSweepSurvivesStoredOutage(t *testing.T) {
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(NewServer(backing), faults.Plan{})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	cache, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(srv.URL, ClientOptions{
+		Cache:        cache,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		// A long cooldown keeps the breaker open for the rest of the
+		// sweep once it trips — no half-open probe can sneak through and
+		// make the outage flaky. Recovery is the explicit Reconcile
+		// below, which resets the breaker itself.
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profiles := hostProfiles(6)
+	const killAt = 3 // daemon dies inside the 3rd computed shard
+	var computes atomic.Int64
+	rep, err := fleet.Sweep(profiles, fleet.Options{
+		// Two replicas over six shards guarantee shards still await
+		// their lease claim when the kill fires — on a many-core box an
+		// unbounded pool could claim everything up front and never
+		// exercise the degraded claim path.
+		Replicas: 2,
+		Store:    client,
+		Config:   hostConfig,
+		Run: func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+			if computes.Add(1) == killAt {
+				inj.Kill()
+			}
+			return &core.Result{
+				DeviceName:   fmt.Sprintf("%s[%d]", p.Key, p.Instance),
+				Architecture: p.Config.Architecture,
+			}, nil
+		},
+		LeaseTTL: time.Minute,
+		Owner:    "outage-host",
+		WaitPoll: 2 * time.Millisecond,
+		// Leave StoreErrors at auto: the tiered client advertises
+		// CanDegrade, so the policy must resolve to degrade on its own.
+	})
+	if err != nil {
+		t.Fatalf("sweep failed instead of degrading: %v", err)
+	}
+
+	// (a) Zero lost shards: every shard has a result.
+	for i, sh := range rep.Shards {
+		if sh.Result == nil {
+			t.Fatalf("shard %d lost in the outage (err=%v)", i, sh.Err)
+		}
+	}
+	if got := int(computes.Load()); got != len(profiles) {
+		t.Fatalf("computed %d shards, want %d (store was empty)", got, len(profiles))
+	}
+
+	// (b) The outage is visible in the report: shards after the kill
+	// either deferred their Puts into the journal or fell back around
+	// failed lease claims.
+	if rep.Deferred == 0 {
+		t.Fatalf("report %+v: no deferred writes despite the mid-sweep kill", rep)
+	}
+	if rep.Degraded == 0 {
+		t.Fatalf("report %+v: no degraded fallbacks despite the mid-sweep kill", rep)
+	}
+	rs := client.Resilience()
+	if rs.Pending == 0 || int(rs.Pending) != rep.Deferred {
+		t.Fatalf("Pending = %d, Deferred = %d: journal out of step with the report",
+			rs.Pending, rep.Deferred)
+	}
+	// The local tier holds every shard even though the daemon missed
+	// the tail of the sweep.
+	if cache.Len() != len(profiles) {
+		t.Fatalf("local tier has %d blobs, want %d", cache.Len(), len(profiles))
+	}
+	if backing.Len() >= len(profiles) {
+		t.Fatalf("daemon has %d blobs despite dying mid-sweep", backing.Len())
+	}
+
+	// (c) Daemon restart + reconcile converges the remote store to
+	// byte-identical blobs.
+	inj.Restore()
+	n, err := client.Reconcile()
+	if err != nil {
+		t.Fatalf("reconcile after restart: %v", err)
+	}
+	if n != rep.Deferred {
+		t.Fatalf("reconciled %d blobs, want the %d deferred ones", n, rep.Deferred)
+	}
+	if backing.Len() != len(profiles) {
+		t.Fatalf("daemon has %d blobs after reconcile, want %d", backing.Len(), len(profiles))
+	}
+	for _, p := range profiles {
+		k, err := store.ProfileKey(p, hostConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(cache.Dir(), k.Digest+".json"))
+		if err != nil {
+			t.Fatalf("local blob %s: %v", k, err)
+		}
+		got, err := os.ReadFile(filepath.Join(backing.Dir(), k.Digest+".json"))
+		if err != nil {
+			t.Fatalf("daemon blob %s missing after reconcile: %v", k, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("daemon blob %s differs from the local tier's bytes", k)
+		}
+	}
+	if rs := client.Resilience(); rs.Pending != 0 {
+		t.Fatalf("journal still holds %d entries after reconcile", rs.Pending)
+	}
+}
+
+// TestSweepAbortPolicyStillAborts pins the pre-resilience contract for
+// callers that ask for it: with StoreErrors=abort, a mid-sweep daemon
+// death fails the sweep instead of degrading.
+func TestSweepAbortPolicyStillAborts(t *testing.T) {
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(NewServer(backing), faults.Plan{})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	cache, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(srv.URL, ClientOptions{
+		Cache: cache, Retries: 1, RetryBackoff: time.Millisecond,
+		BreakerThreshold: 1, BreakerCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Kill()
+	_, err = fleet.Sweep(hostProfiles(2), fleet.Options{
+		Store:  client,
+		Config: hostConfig,
+		Run: func(p hwprofile.Profile, cfg core.Config) (*core.Result, error) {
+			return &core.Result{DeviceName: "x"}, nil
+		},
+		LeaseTTL:    time.Minute,
+		WaitPoll:    time.Millisecond,
+		StoreErrors: fleet.StoreErrorsAbort,
+	})
+	if err == nil {
+		t.Fatal("abort policy completed through a dead daemon")
+	}
+}

@@ -28,7 +28,16 @@ type Server struct {
 	// by design (a restart zeroes them): they describe this instance's
 	// traffic, not the store's state.
 	leaseAcquired, leaseStolen, leaseBusy, leaseRenewed, leaseReleased atomic.Int64
+
+	// draining flips /readyz to 503 ahead of shutdown, so load balancers
+	// and probes route new traffic away while in-flight requests finish.
+	draining atomic.Bool
 }
+
+// SetDraining marks the server as (not) draining; while draining,
+// /readyz answers 503 and everything else keeps serving — the
+// remove-from-rotation-then-drain shutdown sequence.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // LeaseStats snapshots the lease traffic a Server has arbitrated:
 // successful grants (Stolen counts the subset that displaced an expired
@@ -64,6 +73,10 @@ func NewServer(st *store.Store) *Server {
 	s.mux.HandleFunc("GET "+apiPrefix+"/index", s.handleIndex)
 	s.mux.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
 	s.mux.HandleFunc("POST "+apiPrefix+"/gc", s.handleGC)
+	// Probes live outside the versioned prefix: they describe the
+	// process, not the API, and orchestrators expect them at the root.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/", s.handleUnknown)
 	return s
 }
@@ -361,6 +374,36 @@ func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+// Deliberately trivial — liveness failing triggers restarts, and a
+// daemon that can answer at all should never be restarted for a
+// transient store problem readiness already reports.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: can this daemon usefully take traffic
+// right now? No while draining (shutdown imminent — route new requests
+// to a peer) and no when the store directory stopped accepting writes
+// (a read-only remount or deleted directory makes every Put fail; the
+// fleet is better served degrading to local tiers than timing out
+// here).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if err := s.st.Ready(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ready\n")
 }
 
 // handleUnknown catches everything outside the versioned prefix, so a

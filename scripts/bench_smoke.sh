@@ -30,6 +30,14 @@ $(go test -run '^$' -bench 'BenchmarkSuiteCampaign(Warm|RemoteWarm)$' -benchtime
 # track the compressed-container encode/decode cost.
 raw="$raw
 $(go test -run '^$' -bench 'BenchmarkStorePut|BenchmarkBlob' -benchtime 20x -benchmem ./internal/store)"
+# Resilience path: the breaker's fast-fail vs the no-breaker
+# timeout-and-retry baseline, and a degraded-mode warm read vs the bare
+# local store. TimeoutRetryGet costs a real RequestTimeout per op, so a
+# handful of iterations is all it gets.
+raw="$raw
+$(go test -run '^$' -bench 'BenchmarkBreakerOpenGet|BenchmarkDegradedWarmGet|BenchmarkLocalWarmGet' \
+	-benchtime 20x -benchmem ./internal/storenet)
+$(go test -run '^$' -bench 'BenchmarkTimeoutRetryGet' -benchtime 5x -benchmem ./internal/storenet)"
 printf '%s\n' "$raw"
 
 # Real-blob compression ratio: TestBlobCompressionRatio persists one
@@ -107,6 +115,23 @@ END {
 		printf ",\n  \"remote_warm_allocs_per_op\": %d", remote_allocs
 		printf ",\n  \"remote_warm_allocs_vs_pr4\": %.2f", 20233 / remote_allocs
 	}
+	# Resilience figures. breaker_fastfail_ns is the absolute cost of a
+	# store touch while the circuit is open (the per-op outage tax of a
+	# degraded sweep); its speedup is measured against the no-breaker client
+	# burning a RequestTimeout per attempt on the same dead daemon.
+	# degraded_warm_overhead is a degraded-mode warm read over a bare
+	# local-store read — the read-path price of the fallback machinery
+	# (expected ~1.0: the local tier is checked before the wire).
+	fastfail = ns["BenchmarkBreakerOpenGet"]
+	if (fastfail > 0)
+		printf ",\n  \"breaker_fastfail_ns\": %d", fastfail
+	timeoutretry = ns["BenchmarkTimeoutRetryGet"]
+	if (fastfail > 0 && timeoutretry > 0)
+		printf ",\n  \"breaker_fastfail_speedup\": %.0f", timeoutretry / fastfail
+	degraded = ns["BenchmarkDegradedWarmGet"]
+	local_warm = ns["BenchmarkLocalWarmGet"]
+	if (degraded > 0 && local_warm > 0)
+		printf ",\n  \"degraded_warm_overhead\": %.2f", degraded / local_warm
 	printf "\n}\n"
 }' >"$out"
 

@@ -26,6 +26,12 @@ go test ./...
 echo "== go test -race (store, fleet, storenet) =="
 go test -race ./internal/store/... ./internal/fleet/... ./internal/storenet/... ./cmd/stored/...
 
+echo "== go test -race (breaker + degraded-mode reconciler) =="
+go test -race -count 2 \
+	-run 'TestBreaker|TestDeferredPutReconciles|TestJournalSurvivesProcessRestart|TestBackgroundReconcileOnRecovery|TestSweepSurvivesStoredOutage' \
+	./internal/storenet
+go test -race -count 2 -run 'TestSweepDegrade|TestSweepAutoPolicy|TestResolvePolicy' ./internal/fleet
+
 echo "== go test -race (v1->v2 blob migration) =="
 go test -race -run 'TestV1Blob|TestGetRawServesV1AsV2|TestMixedStoreRebuild|TestCorruptV2Blob' \
 	-count 2 ./internal/store
