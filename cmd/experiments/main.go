@@ -121,6 +121,7 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "concurrent pair campaigns per sweep (0 = one per CPU, 1 = serial; results are identical at every setting)")
 		cacheDir  = fs.String("cache-dir", "", "persist campaign results as content-addressed blobs in this directory; warm re-runs recompute nothing")
 		storeURL  = fs.String("store-url", "", "use a stored daemon at this base URL (e.g. http://host:8417) as the campaign store; with -cache-dir the directory becomes a local write-through tier")
+		storeTok  = fs.String("store-token", "", "bearer token for a -store-url daemon running with -tokens (needs write scope for sweeps; 401/403 are terminal — fix the token, they are never retried or journaled)")
 		noCache   = fs.Bool("no-cache", false, "ignore -cache-dir and -store-url for this run: neither read nor write any store")
 		fleetN    = fs.Int("fleet", 0, "concurrent whole campaigns in multi-unit sweeps (0 = one per CPU; results are identical at every setting)")
 		leaseTTL  = fs.Duration("lease-ttl", 0, "claim sweep shards via store leases so concurrent processes sharing -cache-dir partition the work; the TTL should exceed one campaign's runtime (0 = off)")
@@ -169,11 +170,17 @@ func run(args []string, out io.Writer) error {
 		backend = localStore
 	}
 	if *storeURL != "" && !*noCache {
-		client, err := storenet.NewClient(*storeURL, storenet.ClientOptions{Cache: localStore})
+		client, err := storenet.NewClient(*storeURL, storenet.ClientOptions{
+			Cache: localStore,
+			Token: *storeTok,
+		})
 		if err != nil {
 			return err
 		}
 		backend = client
+	}
+	if *storeTok != "" && (*storeURL == "" || *noCache) {
+		return fmt.Errorf("-store-token needs -store-url (and no -no-cache): there is no daemon to authenticate to")
 	}
 
 	shardOffset, autoOffset := 0, false

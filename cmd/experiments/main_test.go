@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -543,5 +544,55 @@ func TestDegradedRunThenReconcile(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "[fig3c") {
 		t.Fatal("-reconcile generated artefacts; it must flush and exit")
+	}
+}
+
+// TestStoreTokenFlag: -store-token needs a daemon to authenticate to,
+// and when one is there the token threads through to every store
+// request — a write-scope token completes a sweep against an authed
+// daemon, a read-only one aborts it with the terminal auth error.
+func TestStoreTokenFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-store-token", "x", "-out", t.TempDir()}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-store-token") {
+		t.Errorf("-store-token without -store-url: err=%v, want a -store-token error", err)
+	}
+	if err := run([]string{"-store-token", "x", "-store-url", "http://127.0.0.1:1",
+		"-no-cache", "-out", t.TempDir()}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-store-token") {
+		t.Errorf("-store-token with -no-cache: err=%v, want a -store-token error", err)
+	}
+
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := storenet.NewTokenSet().
+		Grant("sweeper", storenet.ScopeWrite, storenet.TokenLimits{}).
+		Grant("viewer", storenet.ScopeRead, storenet.TokenLimits{})
+	srv := httptest.NewServer(storenet.NewServerWith(backing, storenet.ServerOptions{Auth: auth}))
+	defer srv.Close()
+
+	out.Reset()
+	if err := run([]string{"-scale", "quick", "-only", "fig3c", "-store-url", srv.URL,
+		"-store-token", "sweeper", "-out", t.TempDir()}, &out); err != nil {
+		t.Fatalf("authed sweep: %v\n%s", err, out.String())
+	}
+	if backing.Len() != 1 {
+		t.Fatalf("authed sweep stored %d blobs, want 1", backing.Len())
+	}
+
+	// Scope ceilings surface as the terminal auth error: -gc needs
+	// admin, so the write-scope token's GC request aborts the run with
+	// ErrAuth (suite cache writes are fire-and-forget by design, so the
+	// GC verb is where an under-scoped token reliably fails).
+	out.Reset()
+	err = run([]string{"-scale", "quick", "-only", "table1", "-store-url", srv.URL,
+		"-store-token", "sweeper", "-gc", "-max-store-bytes", "1", "-out", t.TempDir()}, &out)
+	if err == nil || !errors.Is(err, storenet.ErrAuth) {
+		t.Fatalf("under-scoped -gc err = %v, want ErrAuth\n%s", err, out.String())
+	}
+	if backing.Len() != 1 {
+		t.Fatalf("refused GC still evicted: %d blobs left", backing.Len())
 	}
 }

@@ -9,7 +9,16 @@
 //
 //	stored -dir DIR [-addr HOST:PORT] [-stats-every D]
 //	       [-gc-every D] [-gc-watermark-bytes N] [-max-store-age D]
-//	       [-drain-grace D]
+//	       [-drain-grace D] [-tokens FILE] [-cert FILE -key FILE]
+//
+// With -tokens, the daemon is multi-tenant: every /v1 request must
+// carry an Authorization: Bearer token from the file, which grants a
+// scope (read/write/admin) and optional per-token rate and byte quotas
+// (throttled requests get 429 + Retry-After). /healthz, /readyz, and
+// /metrics always answer without a token — probes and scrapers are
+// unauthenticated by design. With -cert/-key the daemon serves HTTPS.
+// GET /metrics exports Prometheus-format store gauges and per-endpoint
+// request/latency histograms.
 //
 // The directory is an ordinary internal/store directory: local
 // processes may keep sharing it by path while remote clients go through
@@ -76,6 +85,9 @@ type daemon struct {
 	statsEvery time.Duration
 	drainGrace time.Duration
 	policy     store.GCPolicy
+	certFile   string // with keyFile: serve TLS
+	keyFile    string
+	auth       *storenet.TokenSet // nil = open mode
 
 	mu  sync.Mutex // serializes log lines (the GC/stats loops run concurrently)
 	out io.Writer
@@ -95,6 +107,9 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		maxAge     = fs.Duration("max-store-age", 0, "with -gc-every: evict blobs not accessed for longer than this (0 = no age bound)")
 		statsEvery = fs.Duration("stats-every", 0, "period of the stats log line (blobs, bytes, compression ratio, traffic, lease churn; 0 = off)")
 		drainGrace = fs.Duration("drain-grace", 0, "on SIGINT/SIGTERM, keep serving for this long with /readyz answering 503 before shutting down (lets load balancers route traffic away; 0 = drain immediately)")
+		tokens     = fs.String("tokens", "", "bearer-token file enabling multi-tenant auth: one '<token> <scopes> [rps=N] [burst=N] [bps=N] [bburst=N]' per line (scopes: read, write, admin; 0 = open mode)")
+		certFile   = fs.String("cert", "", "TLS certificate file (PEM); with -key, serve HTTPS")
+		keyFile    = fs.String("key", "", "TLS private key file (PEM); with -cert, serve HTTPS")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -104,6 +119,16 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 	}
 	if (*watermark > 0 || *maxAge > 0) && *gcEvery <= 0 {
 		return nil, fmt.Errorf("-gc-watermark-bytes/-max-store-age need -gc-every to schedule the pass")
+	}
+	if (*certFile == "") != (*keyFile == "") {
+		return nil, fmt.Errorf("-cert and -key must be given together")
+	}
+	var auth *storenet.TokenSet
+	if *tokens != "" {
+		var err error
+		if auth, err = storenet.LoadTokens(*tokens); err != nil {
+			return nil, err
+		}
 	}
 	st, err := store.Open(*dir)
 	if err != nil {
@@ -115,18 +140,27 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 	}
 	return &daemon{
 		st:         st,
-		srv:        storenet.NewServer(st),
+		srv:        storenet.NewServerWith(st, storenet.ServerOptions{Auth: auth}),
 		ln:         ln,
 		gcEvery:    *gcEvery,
 		statsEvery: *statsEvery,
 		drainGrace: *drainGrace,
 		policy:     store.GCPolicy{MaxBytes: *watermark, MaxAge: *maxAge},
+		certFile:   *certFile,
+		keyFile:    *keyFile,
+		auth:       auth,
 		out:        out,
 	}, nil
 }
 
 // URL returns the served base URL — what clients pass as -store-url.
-func (d *daemon) URL() string { return "http://" + d.ln.Addr().String() }
+func (d *daemon) URL() string {
+	scheme := "http"
+	if d.certFile != "" {
+		scheme = "https"
+	}
+	return scheme + "://" + d.ln.Addr().String()
+}
 
 func (d *daemon) logf(format string, args ...any) {
 	d.mu.Lock()
@@ -140,6 +174,9 @@ func (d *daemon) serve(ctx context.Context) error {
 	srv := &http.Server{Handler: d.srv}
 	d.logf("stored: serving %s at %s (api v%d, %d blobs)\n",
 		d.st.Dir(), d.URL(), storenet.APIVersion, d.st.Len())
+	if d.auth != nil {
+		d.logf("stored: auth: %d tokens loaded, /v1 requires Bearer credentials\n", d.auth.Len())
+	}
 	if d.gcEvery > 0 {
 		go d.gcLoop(ctx)
 	}
@@ -147,7 +184,13 @@ func (d *daemon) serve(ctx context.Context) error {
 		go d.statsLoop(ctx)
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(d.ln) }()
+	go func() {
+		if d.certFile != "" {
+			errc <- srv.ServeTLS(d.ln, d.certFile, d.keyFile)
+		} else {
+			errc <- srv.Serve(d.ln)
+		}
+	}()
 	select {
 	case <-ctx.Done():
 		// Two-phase drain: flip readiness first so probes and balancers

@@ -3,9 +3,20 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
 	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"math/big"
+	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -259,5 +270,237 @@ func TestDaemonProbes(t *testing.T) {
 	}
 	if s := out.String(); !strings.Contains(s, "draining") {
 		t.Fatalf("no drain log line:\n%s", s)
+	}
+}
+
+// writeTokensFile writes a -tokens credential file and returns its path.
+func writeTokensFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tokens")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDaemonAuthTokens: a daemon started with -tokens challenges /v1
+// with 401, honors scopes from the file, and keeps probes and /metrics
+// token-free — the full multi-tenant wiring through real flags.
+func TestDaemonAuthTokens(t *testing.T) {
+	tokens := writeTokensFile(t, `
+# ops tenant: full control
+secret-admin admin
+# fleet hosts: read+write, modest rate headroom
+secret-writer write rps=1000 burst=1000
+# dashboards: read only
+secret-reader read
+`)
+	d, out, stop := startDaemon(t, "-dir", t.TempDir(), "-addr", "127.0.0.1:0", "-tokens", tokens)
+	defer stop()
+
+	// Bare requests bounce with a challenge.
+	resp, err := http.Get(d.URL() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthed /v1/stats = %d, want 401", resp.StatusCode)
+	}
+	if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 without a WWW-Authenticate challenge")
+	}
+
+	// Probes and metrics never need credentials.
+	for _, p := range []string{"/healthz", "/readyz", "/metrics"} {
+		if got := probeStatus(t, d.URL()+p); got != http.StatusOK {
+			t.Errorf("token-free %s = %d, want 200", p, got)
+		}
+	}
+
+	// A writer token round-trips a campaign end to end.
+	c, err := storenet.NewClient(d.URL(), storenet.ClientOptions{Token: "secret-writer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := store.KeyFor("a100", 0, 42, core.Config{Frequencies: []float64{705}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("authed round trip: %+v ok=%v", res, ok)
+	}
+
+	// A reader token reads but cannot write.
+	r, err := storenet.NewClient(d.URL(), storenet.ClientOptions{Token: "secret-reader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(k); !ok {
+		t.Error("reader token could not read")
+	}
+	if err := r.Put(k, &core.Result{DeviceName: "x"}); !errors.Is(err, storenet.ErrAuth) {
+		t.Errorf("reader put err = %v, want ErrAuth", err)
+	}
+
+	if !strings.Contains(out.String(), "auth: 3 tokens loaded") {
+		t.Fatalf("no auth log line:\n%s", out.String())
+	}
+}
+
+// selfSignedCert writes a fresh ECDSA localhost certificate and key as
+// PEM files and returns their paths plus a pool trusting the cert.
+func selfSignedCert(t *testing.T) (certFile, keyFile string, pool *x509.CertPool) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "stored-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = x509.NewCertPool()
+	pool.AddCert(cert)
+	return certFile, keyFile, pool
+}
+
+// TestDaemonTLS: -cert/-key turn the listener into HTTPS end to end — a
+// client trusting the cert round-trips a blob over the encrypted
+// transport, and d.URL() advertises the https scheme.
+func TestDaemonTLS(t *testing.T) {
+	certFile, keyFile, pool := selfSignedCert(t)
+	d, _, stop := startDaemon(t, "-dir", t.TempDir(), "-addr", "127.0.0.1:0",
+		"-cert", certFile, "-key", keyFile)
+	defer stop()
+
+	if !strings.HasPrefix(d.URL(), "https://") {
+		t.Fatalf("URL = %q, want https scheme", d.URL())
+	}
+	hc := &http.Client{Transport: &http.Transport{
+		TLSClientConfig: &tls.Config{RootCAs: pool},
+	}}
+	c, err := storenet.NewClient(d.URL(), storenet.ClientOptions{HTTPClient: hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := store.KeyFor("a100", 0, 42, core.Config{Frequencies: []float64{705}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("TLS round trip: %+v ok=%v", res, ok)
+	}
+}
+
+func TestDaemonAuthFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	dir := t.TempDir()
+	if _, err := newDaemon([]string{"-dir", dir, "-cert", "cert.pem"}, &out); err == nil {
+		t.Error("-cert without -key accepted")
+	}
+	if _, err := newDaemon([]string{"-dir", dir, "-key", "key.pem"}, &out); err == nil {
+		t.Error("-key without -cert accepted")
+	}
+	if _, err := newDaemon([]string{"-dir", dir, "-tokens", filepath.Join(dir, "missing")}, &out); err == nil {
+		t.Error("unreadable -tokens file accepted")
+	}
+	bad := filepath.Join(dir, "bad-tokens")
+	if err := os.WriteFile(bad, []byte("tok not-a-scope\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newDaemon([]string{"-dir", dir, "-tokens", bad}, &out); err == nil {
+		t.Error("malformed -tokens file accepted")
+	}
+}
+
+// TestDaemonProbesSurviveAuthAndDrain is the regression for the probe
+// bug class: a daemon that is simultaneously auth-protected, rate
+// limited (tenant bucket dry), and draining must still answer
+// /healthz, /readyz and /metrics without a token — otherwise the
+// orchestrator kills a pod for being busy.
+func TestDaemonProbesSurviveAuthAndDrain(t *testing.T) {
+	tokens := writeTokensFile(t, "tight write rps=0.001 burst=1\n")
+	dir := t.TempDir()
+	out := &syncBuffer{}
+	d, err := newDaemon([]string{"-dir", dir, "-addr", "127.0.0.1:0",
+		"-tokens", tokens, "-drain-grace", "750ms"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.serve(ctx) }()
+
+	// Exhaust the tenant's request bucket: one request spends the burst,
+	// the next bounces 429.
+	for i := 0; i < 2; i++ {
+		req, err := http.NewRequest(http.MethodGet, d.URL()+"/v1/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer tight")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if i == 1 && resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("second authed request = %d, want 429", resp.StatusCode)
+		}
+	}
+
+	// Now start draining — and assert every probe still answers
+	// token-free while the tenant is throttled and readiness is down.
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for probeStatus(t, d.URL()+"/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 after the shutdown signal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := probeStatus(t, d.URL()+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining+throttled = %d, want 200", got)
+	}
+	if got := probeStatus(t, d.URL()+"/metrics"); got != http.StatusOK {
+		t.Fatalf("metrics while draining+throttled = %d, want 200", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeBlob throws arbitrary bytes at the full blob-validation
+// path — container sniffing, inflation under the canonical-size rail,
+// JSON decode, digest/schema checks. The invariant is the store's
+// corrupt-blob promise: any input either validates to a non-nil result
+// or returns an error; it never panics and a compressed container
+// never inflates past maxCanonicalBytes (a bomb is an invalid blob,
+// not an allocation storm).
+func FuzzDecodeBlob(f *testing.F) {
+	k := mustKey(f, 0, 42)
+	plain, err := EncodeBlob(k, testResult())
+	if err != nil {
+		f.Fatal(err)
+	}
+	comp, err := EncodeBlobCompressed(k, testResult())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(plain)
+	f.Add(comp)
+	// Truncations tear the container at both layers: mid-JSON for v1,
+	// mid-deflate-stream and mid-gzip-footer for v2.
+	f.Add(plain[:len(plain)/2])
+	f.Add(comp[:len(comp)/2])
+	f.Add(comp[:len(comp)-4]) // gzip CRC/ISIZE footer torn off
+	// Bit flips corrupt without truncating.
+	for _, src := range [][]byte{plain, comp} {
+		flipped := bytes.Clone(src)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	// A high-ratio member: 64 KiB of padding compresses to ~100 bytes,
+	// steering the fuzzer toward the inflation rail.
+	bomb, err := compressBlobBytes(bytes.Repeat([]byte{' '}, 64<<10))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bomb)
+	f.Add([]byte(`{}`))
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic, no stream
+
+	digest := k.Digest
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := ValidateBlob(data, digest)
+		if err == nil && res == nil {
+			t.Fatal("ValidateBlob returned nil result with nil error")
+		}
+		// The digest-mismatch path must be just as total.
+		if res, err := ValidateBlob(data, "deadbeef"); err == nil && res == nil {
+			t.Fatal("digest-mismatch ValidateBlob: nil result with nil error")
+		}
+		// WriteCanonical shares the sniff/inflate machinery; it must be
+		// equally crash-free on hostile input (errors are fine).
+		_ = WriteCanonical(io.Discard, data)
+	})
+}
+
+// FuzzF64UnmarshalJSON fuzzes the hand-rolled f64 element parser
+// against its encoder: any input it accepts must re-encode and
+// re-parse to the identical bit pattern (modulo NaN payloads, which
+// canonicalise to the single "NaN" spelling).
+func FuzzF64UnmarshalJSON(f *testing.F) {
+	for _, seed := range []string{
+		`1.5`, `-0`, `0`, `3.141592653589793`, `1e308`, `5e-324`,
+		`"NaN"`, `"+Inf"`, `"-Inf"`,
+		"\"\\u004EaN\"", // escaped spelling of "NaN", the alien-encoder slow path
+		`null`, `1e999`, `"Inf"`, `""`, `NaN`, `[1]`, `0x1p2`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v f64
+		if err := v.UnmarshalJSON(data); err != nil {
+			return // rejected input: nothing more to hold it to
+		}
+		out, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted %q but re-encode failed: %v", data, err)
+		}
+		// What the encoder emits must also be valid generic JSON — this
+		// is what guards interop with foreign decoders.
+		if !json.Valid(out) {
+			t.Fatalf("%q encoded to invalid JSON %q", data, out)
+		}
+		var back f64
+		if err := back.UnmarshalJSON(out); err != nil {
+			t.Fatalf("round-trip parse of %q (from %q) failed: %v", out, data, err)
+		}
+		vb, bb := math.Float64bits(float64(v)), math.Float64bits(float64(back))
+		bothNaN := math.IsNaN(float64(v)) && math.IsNaN(float64(back))
+		if vb != bb && !bothNaN {
+			t.Fatalf("%q: round trip %x -> %q -> %x", data, vb, out, bb)
+		}
+	})
+}

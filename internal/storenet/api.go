@@ -20,6 +20,23 @@
 //	GET  /v1/index                    → {api, schema, entries}
 //	GET  /v1/stats                    → {api, schema, blobs, bytes, raw_bytes, compression_ratio, counters, leases}
 //	POST /v1/gc                       → {max_bytes, max_age_ns} ⇒ GCStats
+//	GET  /healthz | /readyz           → liveness / readiness probes (token-free)
+//	GET  /metrics                     → Prometheus text: store gauges + per-endpoint request/latency histograms (token-free)
+//
+// # Auth and quotas
+//
+// A daemon started with -tokens enforces Authorization: Bearer on every
+// /v1 route. Tokens grant hierarchical scopes — read (blob GET/HEAD,
+// lease peek, index, stats) ⊂ write (blob PUT, lease CAS ops) ⊂ admin
+// (gc) — and optional per-token request-rate and upload-byte quotas.
+// Status semantics: 401 missing/unknown token, 403 insufficient scope,
+// 429 + Retry-After (delta seconds) when a quota bucket is dry. The
+// Client treats 401/403 as terminal (ErrAuth: never retried, never
+// journaled) and honors 429's Retry-After between attempts without
+// feeding the circuit breaker (ErrRateLimited on budget exhaustion).
+// Probes and /metrics bypass auth entirely. Adding auth needed no
+// /v1 → /v2 bump: an open daemon's wire behavior is unchanged, and an
+// authed daemon only adds the standard challenge statuses.
 //
 // The blob *entity* is the canonical envelope store.EncodeBlob
 // produces; the bytes on the wire are negotiated with standard HTTP

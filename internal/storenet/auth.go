@@ -1,0 +1,304 @@
+package storenet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Scope is a capability class a bearer token grants. Scopes are
+// hierarchical — write implies read, admin implies write — because
+// every real deployment that can mutate the store must also be able to
+// probe it (Put's idempotence check is a HEAD, the claim loop peeks
+// holders), so a flat model would force every token to list everything.
+type Scope uint8
+
+const (
+	// ScopeRead admits the read plane: blob GET/HEAD, lease peeks,
+	// index, stats.
+	ScopeRead Scope = 1 << iota
+	// ScopeWrite admits mutation: blob PUT and the lease CAS endpoints
+	// (acquire/renew/release). Implies ScopeRead.
+	ScopeWrite
+	// ScopeAdmin admits operational surgery — today that is POST /v1/gc,
+	// which can evict any tenant's blobs. Implies ScopeWrite.
+	ScopeAdmin
+)
+
+// expandScope folds the implication chain into a mask, so enforcement
+// is a single bitwise test.
+func expandScope(s Scope) Scope {
+	if s&ScopeAdmin != 0 {
+		s |= ScopeWrite
+	}
+	if s&ScopeWrite != 0 {
+		s |= ScopeRead
+	}
+	return s
+}
+
+func (s Scope) String() string {
+	switch {
+	case s&ScopeAdmin != 0:
+		return "admin"
+	case s&ScopeWrite != 0:
+		return "write"
+	case s&ScopeRead != 0:
+		return "read"
+	}
+	return "none"
+}
+
+// TokenLimits bounds one token's traffic. Zero fields mean unlimited —
+// a token file line with no k=v settings grants scope without quota.
+type TokenLimits struct {
+	// RPS is the sustained request rate (token bucket refill per
+	// second); Burst is the bucket capacity (0 = RPS).
+	RPS, Burst float64
+	// BytesPerSec bounds uploaded payload bytes per second (PUT bodies,
+	// charged by Content-Length before the body is read); ByteBurst is
+	// that bucket's capacity (0 = BytesPerSec).
+	BytesPerSec, ByteBurst float64
+}
+
+// bucket is a mutex-guarded token bucket. A nil *bucket is unlimited,
+// which keeps the per-request path branch-free for unquota'd tokens.
+type bucket struct {
+	mu    sync.Mutex
+	level float64
+	size  float64
+	rate  float64 // refill per second
+	last  time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	return &bucket{level: burst, size: burst, rate: rate, last: time.Now()}
+}
+
+// take withdraws n tokens if the bucket holds them; otherwise it
+// reports how long until it would. A request is never half-charged: a
+// refused take leaves the level untouched, so a client that honors
+// Retry-After is not paying for its rejections.
+func (b *bucket) take(n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.level = math.Min(b.size, b.level+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.level >= n {
+		b.level -= n
+		return true, 0
+	}
+	short := n - b.level
+	if short > b.size {
+		// A single request larger than the bucket can ever hold: no
+		// amount of waiting helps, but 429-with-a-bound beats lying.
+		short = b.size
+	}
+	return false, time.Duration(short / b.rate * float64(time.Second))
+}
+
+// tokenEntry is one credential's grant: its (expanded) scope and its
+// optional rate and byte buckets.
+type tokenEntry struct {
+	scope Scope
+	reqs  *bucket
+	bytes *bucket
+}
+
+// TokenSet is the daemon's credential table: token → scope + quotas.
+// The map is immutable after construction (LoadTokens/Grant happen
+// before the server starts); only the buckets mutate, under their own
+// locks, so lookups need no synchronisation.
+type TokenSet struct {
+	tokens map[string]*tokenEntry
+}
+
+// NewTokenSet returns an empty set; Grant populates it. Tests and
+// embedders build sets programmatically, daemons load them from a file.
+func NewTokenSet() *TokenSet {
+	return &TokenSet{tokens: map[string]*tokenEntry{}}
+}
+
+// Grant adds (or replaces) a token with the given scope and limits,
+// returning the set for chaining. Scope implications are expanded here.
+func (ts *TokenSet) Grant(token string, scope Scope, lim TokenLimits) *TokenSet {
+	ts.tokens[token] = &tokenEntry{
+		scope: expandScope(scope),
+		reqs:  newBucket(lim.RPS, lim.Burst),
+		bytes: newBucket(lim.BytesPerSec, lim.ByteBurst),
+	}
+	return ts
+}
+
+// Len reports how many tokens the set holds.
+func (ts *TokenSet) Len() int { return len(ts.tokens) }
+
+// LoadTokens reads a token file — the cmd/stored -tokens format:
+//
+//	# comment (or blank line)
+//	<token> <scope>[,<scope>...] [rps=N] [burst=N] [bps=N] [bburst=N]
+//
+// One token per line, whitespace-separated. Scopes are read, write,
+// admin (hierarchical: admin ⊃ write ⊃ read). rps/burst bound the
+// token's request rate; bps/bburst bound its uploaded bytes per second
+// (PUT payloads). Omitted settings mean unlimited.
+func LoadTokens(path string) (*TokenSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storenet: tokens: %w", err)
+	}
+	defer f.Close()
+	ts, err := ParseTokens(f)
+	if err != nil {
+		return nil, fmt.Errorf("storenet: tokens %s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// ParseTokens parses the token-file format from a reader; see
+// LoadTokens for the grammar.
+func ParseTokens(r io.Reader) (*TokenSet, error) {
+	ts := NewTokenSet()
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("line %d: want <token> <scopes> [k=v...], got %q", lineNo, line)
+		}
+		token := fields[0]
+		if _, dup := ts.tokens[token]; dup {
+			return nil, fmt.Errorf("line %d: duplicate token %q", lineNo, token)
+		}
+		var scope Scope
+		for _, s := range strings.Split(fields[1], ",") {
+			switch strings.TrimSpace(s) {
+			case "read":
+				scope |= ScopeRead
+			case "write":
+				scope |= ScopeWrite
+			case "admin":
+				scope |= ScopeAdmin
+			default:
+				return nil, fmt.Errorf("line %d: unknown scope %q (want read, write, or admin)", lineNo, s)
+			}
+		}
+		var lim TokenLimits
+		for _, kv := range fields[2:] {
+			key, val, ok := strings.Cut(kv, "=")
+			var v float64
+			var perr error
+			if ok {
+				v, perr = strconv.ParseFloat(val, 64)
+			}
+			if !ok || perr != nil || v < 0 {
+				return nil, fmt.Errorf("line %d: bad setting %q (want k=N, N ≥ 0)", lineNo, kv)
+			}
+			switch key {
+			case "rps":
+				lim.RPS = v
+			case "burst":
+				lim.Burst = v
+			case "bps":
+				lim.BytesPerSec = v
+			case "bburst":
+				lim.ByteBurst = v
+			default:
+				return nil, fmt.Errorf("line %d: unknown setting %q (want rps, burst, bps, or bburst)", lineNo, kv)
+			}
+		}
+		ts.Grant(token, scope, lim)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ts.Len() == 0 {
+		return nil, fmt.Errorf("no tokens (an empty token file would lock every client out; serve without -tokens for open mode)")
+	}
+	return ts, nil
+}
+
+// bearerToken extracts the Authorization: Bearer credential.
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || tok == "" {
+		return "", false
+	}
+	return tok, true
+}
+
+// admit enforces the token table for one request: 401 for a missing or
+// unknown token, 403 for a known token short of the route's scope, 429
+// with Retry-After when a quota bucket runs dry. A false return means
+// the rejection has been written. Probes (/healthz, /readyz) and
+// /metrics never pass through admit — they are registered outside the
+// authed routes, because orchestrators and scrapers do not carry
+// tenant credentials and a daemon that cannot be probed gets restarted.
+func (ts *TokenSet) admit(w http.ResponseWriter, r *http.Request, need Scope) bool {
+	tok, ok := bearerToken(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="stored"`)
+		http.Error(w, "storenet: missing Authorization: Bearer token", http.StatusUnauthorized)
+		return false
+	}
+	e := ts.tokens[tok]
+	if e == nil {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="stored", error="invalid_token"`)
+		http.Error(w, "storenet: unknown token", http.StatusUnauthorized)
+		return false
+	}
+	if e.scope&need != need {
+		http.Error(w, fmt.Sprintf("storenet: token grants %s, route needs %s", e.scope, need),
+			http.StatusForbidden)
+		return false
+	}
+	if ok, wait := e.reqs.take(1); !ok {
+		tooManyRequests(w, wait)
+		return false
+	}
+	// Byte quota charges the declared upload size before the body is
+	// read, so an over-quota PUT costs the daemon a header parse, not a
+	// 256 MiB read. Responses are not charged: Get traffic is bounded by
+	// the request bucket and blobs are small.
+	if n := r.ContentLength; n > 0 {
+		if ok, wait := e.bytes.take(float64(n)); !ok {
+			tooManyRequests(w, wait)
+			return false
+		}
+	}
+	return true
+}
+
+// tooManyRequests writes the 429 with a ceil-seconds Retry-After (the
+// delta-seconds form every client library parses). Minimum 1: a
+// sub-second wait rounded to 0 would invite an immediate retry, the one
+// thing a throttled client must not do.
+func tooManyRequests(w http.ResponseWriter, wait time.Duration) {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "storenet: rate limit exceeded", http.StatusTooManyRequests)
+}

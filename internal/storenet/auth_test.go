@@ -1,0 +1,362 @@
+package storenet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"golatest/internal/store"
+)
+
+func TestParseTokens(t *testing.T) {
+	ts, err := ParseTokens(strings.NewReader(`
+# fleet tokens
+reader-1   read
+writer-1   read,write rps=50 burst=100
+admin-1    admin bps=1048576 bburst=2097152
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("parsed %d tokens, want 3", ts.Len())
+	}
+	// Scope implications: write ⊃ read, admin ⊃ write ⊃ read.
+	if e := ts.tokens["writer-1"]; e.scope&ScopeRead == 0 || e.scope&ScopeWrite == 0 || e.scope&ScopeAdmin != 0 {
+		t.Fatalf("writer-1 scope = %b", e.scope)
+	}
+	if e := ts.tokens["admin-1"]; e.scope != expandScope(ScopeAdmin) {
+		t.Fatalf("admin-1 scope = %b", e.scope)
+	}
+	if ts.tokens["writer-1"].reqs == nil || ts.tokens["reader-1"].reqs != nil {
+		t.Fatal("rate buckets mis-assigned")
+	}
+
+	for _, bad := range []string{
+		"tok",                        // missing scope column
+		"tok superuser",              // unknown scope
+		"tok read rps=fast",          // non-numeric setting
+		"tok read rps=-1",            // negative setting
+		"tok read ttl=5",             // unknown setting
+		"tok read\ntok write",        // duplicate token
+		"# only comments, no tokens", // empty set locks everyone out
+	} {
+		if _, err := ParseTokens(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTokens(%q) accepted", bad)
+		}
+	}
+}
+
+// authedServer mounts a store on an authed loopback server and returns
+// it with a request counter, so tests can assert exactly how many
+// requests a client actually sent (no-retry-storm proofs).
+func authedServer(t *testing.T, ts *TokenSet) (*store.Store, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(st, ServerOptions{Auth: ts})
+	var reqs atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(hs.Close)
+	return st, hs, &reqs
+}
+
+// TestAuthScopeEnforcement walks the 401/403 matrix: no token, unknown
+// token, and a read-scoped token attempting writes and admin ops.
+func TestAuthScopeEnforcement(t *testing.T) {
+	ts := NewTokenSet().
+		Grant("r-token", ScopeRead, TokenLimits{}).
+		Grant("w-token", ScopeWrite, TokenLimits{}).
+		Grant("a-token", ScopeAdmin, TokenLimits{})
+	_, hs, _ := authedServer(t, ts)
+
+	status := func(method, path, token string) int {
+		req, err := http.NewRequest(method, hs.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	cases := []struct {
+		method, path, token string
+		want                int
+	}{
+		{"GET", "/v1/stats", "", http.StatusUnauthorized},
+		{"GET", "/v1/stats", "no-such-token", http.StatusUnauthorized},
+		{"GET", "/v1/stats", "r-token", http.StatusOK},
+		{"GET", "/v1/index", "r-token", http.StatusOK},
+		{"PUT", "/v1/blobs/deadbeef", "r-token", http.StatusForbidden},
+		{"POST", "/v1/leases/deadbeef/acquire", "r-token", http.StatusForbidden},
+		{"POST", "/v1/gc", "r-token", http.StatusForbidden},
+		{"POST", "/v1/gc", "w-token", http.StatusForbidden}, // gc is admin-only
+		{"POST", "/v1/gc", "a-token", http.StatusOK},
+		// Probes and the scrape endpoint never need a token.
+		{"GET", "/healthz", "", http.StatusOK},
+		{"GET", "/readyz", "", http.StatusOK},
+		{"GET", "/metrics", "", http.StatusOK},
+	}
+	for _, c := range cases {
+		if got := status(c.method, c.path, c.token); got != c.want {
+			t.Errorf("%s %s token=%q = %d, want %d", c.method, c.path, c.token, got, c.want)
+		}
+	}
+}
+
+// TestRateLimit429: a token over its request budget gets 429 with a
+// positive integral Retry-After, and an untouched token is unaffected
+// (limits are per tenant, not global).
+func TestRateLimit429(t *testing.T) {
+	ts := NewTokenSet().
+		Grant("throttled", ScopeRead, TokenLimits{RPS: 0.01, Burst: 2}).
+		Grant("free", ScopeRead, TokenLimits{})
+	_, hs, _ := authedServer(t, ts)
+
+	get := func(token string) *http.Response {
+		req, _ := http.NewRequest("GET", hs.URL+"/v1/stats", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	if r := get("throttled"); r.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d", r.StatusCode)
+	}
+	if r := get("throttled"); r.StatusCode != http.StatusOK {
+		t.Fatalf("second request (burst) = %d", r.StatusCode)
+	}
+	r := get("throttled")
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request = %d, want 429", r.StatusCode)
+	}
+	secs, err := strconv.Atoi(r.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integral seconds ≥ 1", r.Header.Get("Retry-After"))
+	}
+	// Another tenant's bucket is untouched.
+	if r := get("free"); r.StatusCode != http.StatusOK {
+		t.Fatalf("unthrottled tenant = %d", r.StatusCode)
+	}
+}
+
+// TestByteQuota429: upload quota charges PUT Content-Length before the
+// body is read; an over-quota upload gets 429, a small one passes.
+func TestByteQuota429(t *testing.T) {
+	k := testKey(t, 0)
+	blob, err := store.EncodeBlobCompressed(k, testResult(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst admits exactly one blob; the trickle refill cannot fund a
+	// second within the test's lifetime.
+	ts := NewTokenSet().Grant("quota", ScopeWrite,
+		TokenLimits{BytesPerSec: 1, ByteBurst: float64(len(blob)) + 8})
+	st, hs, _ := authedServer(t, ts)
+
+	c, err := NewClient(hs.URL, ClientOptions{Token: "quota", Retries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, testResult(0)); err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	// ...and drains the bucket: the second distinct blob is refused.
+	k2 := testKey(t, 1)
+	err = c.Put(k2, testResult(1))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-quota put: %v, want ErrRateLimited", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store has %d blobs, want 1", st.Len())
+	}
+}
+
+// TestClientAuthTerminal: 401/403 are terminal for the client — one
+// request, no retries, typed ErrAuth, and a tiered client never defers
+// the refused Put to the pending journal.
+func TestClientAuthTerminal(t *testing.T) {
+	ts := NewTokenSet().Grant("r-token", ScopeRead, TokenLimits{})
+	_, hs, reqs := authedServer(t, ts)
+	cache, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(hs.URL, ClientOptions{
+		Cache:        cache,
+		Token:        "r-token", // read-only: every Put is a 403
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := testKey(t, 0)
+	before := reqs.Load()
+	err = c.Put(k, testResult(0))
+	if !errors.Is(err, ErrAuth) {
+		t.Fatalf("put with read-only token: %v, want ErrAuth", err)
+	}
+	if got := reqs.Load() - before; got != 1 {
+		t.Fatalf("refused put sent %d requests, want exactly 1 (no retry storm)", got)
+	}
+	// Never journaled: a 4xx is a deterministic refusal, and replaying
+	// it at reconcile time would fail identically — or worse, dodge a
+	// fixed token file's new quotas.
+	if rs := c.Resilience(); rs.Deferred != 0 || rs.Pending != 0 {
+		t.Fatalf("auth-refused put was journaled: %+v", rs)
+	}
+	// TryAcquire surfaces the same typed error.
+	if _, _, err := c.TryAcquire(k.Digest, "owner", time.Minute); !errors.Is(err, ErrAuth) {
+		t.Fatalf("acquire with read-only token: %v, want ErrAuth", err)
+	}
+
+	// A wrong token altogether: reads degrade to a miss (one request,
+	// no retries), the Backend read contract.
+	bad, err := NewClient(hs.URL, ClientOptions{Token: "wrong", RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = reqs.Load()
+	if _, ok := bad.Get(k); ok {
+		t.Fatal("Get with a bad token returned a result")
+	}
+	if got := reqs.Load() - before; got != 1 {
+		t.Fatalf("401 Get sent %d requests, want exactly 1", got)
+	}
+}
+
+// TestClient429HonorsRetryAfterWithoutBreakerTrip: the client sleeps
+// the server's Retry-After between attempts, returns ErrRateLimited on
+// budget exhaustion, and the breaker never opens — a throttling daemon
+// is healthy, and 429s must not become a fake outage.
+func TestClient429HonorsRetryAfterWithoutBreakerTrip(t *testing.T) {
+	var reqs atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "throttled", http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	c, err := NewClient(hs.URL, ClientOptions{
+		Retries:          2,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 1, // a single strike would open it — prove 429 is no strike
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Stats()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("stats against an always-429 daemon: %v, want ErrRateLimited", err)
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Fatal("429 opened the circuit breaker")
+	}
+	if reqs.Load() != 2 {
+		t.Fatalf("sent %d requests, want the full budget of 2", reqs.Load())
+	}
+	if elapsed < time.Second {
+		t.Fatalf("retried after %v, want ≥ 1s (the server's Retry-After)", elapsed)
+	}
+	// The breaker stayed closed: the next call still reaches the wire
+	// instead of fast-failing with ErrUnavailable.
+	before := reqs.Load()
+	if _, err := c.Stats(); errors.Is(err, ErrUnavailable) {
+		t.Fatal("breaker open after 429s")
+	}
+	if reqs.Load() == before {
+		t.Fatal("follow-up request never reached the daemon")
+	}
+}
+
+// TestAuthedProbesWhileDrainingAndThrottled is the satellite bugfix
+// regression at the handler level: a daemon that is draining AND has
+// rate-limited its tenants still answers /healthz, /readyz, and
+// /metrics without a token — probes and scrapers must never be
+// collateral of tenant quotas or shutdown.
+func TestAuthedProbesWhileDrainingAndThrottled(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTokenSet().Grant("tight", ScopeRead, TokenLimits{RPS: 0.01, Burst: 1})
+	srv := NewServerWith(st, ServerOptions{Auth: ts})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// Exhaust the only tenant's budget...
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest("GET", hs.URL+"/v1/stats", nil)
+		req.Header.Set("Authorization", "Bearer tight")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if i == 1 && resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("tenant not throttled: %d", resp.StatusCode)
+		}
+	}
+	// ...and start draining.
+	srv.SetDraining(true)
+
+	probe := func(path string) (int, string) {
+		resp, err := http.Get(hs.URL + path) // deliberately token-free
+		if err != nil {
+			t.Fatalf("probe %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining+throttled = %d, want 200", code)
+	}
+	// Draining readiness is 503 — an orchestration answer, not a 401:
+	// the probe got through auth and rate limits to the real state.
+	if code, _ := probe("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", code)
+	}
+	code, body := probe("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics while draining+throttled = %d, want 200", code)
+	}
+	// The scrape even reports the 429s it was itself never subject to:
+	// rejections are observed with their endpoint label.
+	if !strings.Contains(body, `stored_requests_total{endpoint="GET /v1/stats",code="429"}`) {
+		t.Fatalf("metrics scrape does not report the 429s:\n%s", body)
+	}
+	// The API itself still enforces auth while draining.
+	if code, _ := probe("/v1/stats"); code != http.StatusUnauthorized {
+		t.Fatalf("tokenless API while draining = %d, want 401", code)
+	}
+}

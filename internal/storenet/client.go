@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,24 @@ import (
 // a timeout finding out again. Reads treat it as a miss; Put falls back
 // to the deferred (write-behind) path when a local tier exists.
 var ErrUnavailable = errors.New("storenet: store unavailable (circuit open)")
+
+// ErrAuth marks a request the daemon understood and refused on
+// credentials: 401 (missing/unknown token) or 403 (insufficient
+// scope). Terminal by design — the identical request would be refused
+// identically, so it is never retried and a Put carrying it is never
+// deferred to the pending journal (a journal full of doomed replays
+// would turn a config error into silent data loss at reconcile time).
+// Fix ClientOptions.Token or the daemon's token file instead.
+var ErrAuth = errors.New("storenet: rejected by daemon auth (check ClientOptions.Token and its scopes)")
+
+// ErrRateLimited marks a request budget exhausted against a live,
+// throttling daemon (429). Each 429 is honored with its Retry-After
+// before the next attempt and never counts as a breaker strike — the
+// daemon answering 429 is healthy, and tripping the breaker would
+// convert backpressure into a fake outage. Like ErrAuth it never
+// defers a Put: replaying later through the journal would dodge the
+// very quota the daemon is enforcing.
+var ErrRateLimited = errors.New("storenet: rate limited by daemon")
 
 // Write-behind journal layout: one empty marker file per deferred
 // digest, in a subdirectory of the cache store's directory. The store's
@@ -89,6 +108,7 @@ type Client struct {
 	base       string
 	hc         *http.Client
 	cache      *store.Store
+	auth       string // "Bearer <token>", or "" for open daemons
 	retries    int
 	backoff    time.Duration
 	reqTimeout time.Duration
@@ -120,6 +140,12 @@ type ClientOptions struct {
 	// HTTPClient overrides the default client (keep-alive transport).
 	// Per-attempt deadlines come from RequestTimeout either way.
 	HTTPClient *http.Client
+	// Token is the bearer credential sent as "Authorization: Bearer
+	// <token>" on every request, for daemons running with -tokens.
+	// Empty means none (open daemons). A daemon answering 401/403 is
+	// terminal per request — see ErrAuth — and 429 throttling is
+	// honored via Retry-After without tripping the circuit breaker.
+	Token string
 	// Retries is the attempt budget per idempotent request; 0 means 3.
 	Retries int
 	// RetryBackoff is the initial retry delay, doubling per attempt
@@ -187,10 +213,15 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 	if reqTimeout <= 0 {
 		reqTimeout = 15 * time.Second
 	}
+	auth := ""
+	if opts.Token != "" {
+		auth = "Bearer " + opts.Token
+	}
 	c := &Client{
 		base:       strings.TrimRight(u.String(), "/"),
 		hc:         hc,
 		cache:      opts.Cache,
+		auth:       auth,
 		retries:    retries,
 		backoff:    backoff,
 		reqTimeout: reqTimeout,
@@ -262,6 +293,9 @@ func (c *Client) newAttempt(method, u string, body []byte, rawEncoding bool) (*h
 	if err != nil {
 		cancel()
 		return nil, nil, err
+	}
+	if c.auth != "" {
+		req.Header.Set("Authorization", c.auth)
 	}
 	if rawEncoding {
 		req.Header.Set("Accept-Encoding", "gzip")
@@ -347,6 +381,23 @@ func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (
 			lastErr = fmt.Errorf("storenet: %s %s: %s", method, u, resp.Status)
 			continue
 		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Backpressure from a live daemon: honor its Retry-After on
+			// top of the normal backoff, and feed the breaker a success —
+			// a throttling daemon is a healthy daemon, and opening the
+			// circuit here would turn a quota into a fake outage (and,
+			// with a local tier, shunt writes into the pending journal,
+			// which a quota refusal must never reach).
+			wait := retryAfterDelay(resp)
+			drain(resp)
+			cancel()
+			c.recordAttempt(true)
+			lastErr = fmt.Errorf("storenet: %s %s: %s: %w", method, u, resp.Status, ErrRateLimited)
+			if attempt < c.retries-1 {
+				time.Sleep(wait)
+			}
+			continue
+		}
 		c.recordAttempt(true)
 		resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
 		return resp, nil
@@ -376,6 +427,9 @@ func (c *Client) doOnce(u string, body any) (*http.Response, error) {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.auth != "" {
+		req.Header.Set("Authorization", c.auth)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		cancel()
@@ -387,6 +441,24 @@ func (c *Client) doOnce(u string, body any) (*http.Response, error) {
 	c.recordAttempt(true)
 	resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
 	return resp, nil
+}
+
+// retryAfterDelay parses a 429's Retry-After header (the delta-seconds
+// form the daemon emits; the HTTP-date form is not worth supporting
+// for a single-purpose API). Missing or malformed values fall back to
+// the normal backoff schedule; hostile values are capped so a bad
+// proxy cannot park a client for minutes.
+func retryAfterDelay(resp *http.Response) time.Duration {
+	const maxRetryAfter = 30 * time.Second
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // drain discards and closes a response body so the connection returns
@@ -508,12 +580,22 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 	}
 	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data, true)
 	if err != nil {
-		if c.cache != nil {
+		// Only infrastructure failures (transport, 5xx, open breaker)
+		// defer; a rate-limit refusal is the daemon telling this tenant
+		// to slow down, and journaling the write would smuggle it past
+		// the quota at reconcile time.
+		if c.cache != nil && !errors.Is(err, ErrRateLimited) {
 			return c.deferPut(k, data, err)
 		}
 		return fmt.Errorf("storenet: put %s: %w", k, err)
 	}
 	drain(resp)
+	if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
+		// Terminal: the daemon saw the request and refused the
+		// credential. Never retried (the refusal is deterministic),
+		// never deferred (the journal replay would be refused too).
+		return fmt.Errorf("storenet: put %s: %s: %w", k, resp.Status, ErrAuth)
+	}
 	if resp.StatusCode == http.StatusBadRequest {
 		// A pre-codec daemon cannot parse the compressed container and
 		// answers 400; fall back to the canonical (identity) bytes once,
@@ -526,7 +608,7 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 			return fmt.Errorf("storenet: encode %s: %w", k, perr)
 		}
 		if resp, err = c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), plain, true); err != nil {
-			if c.cache != nil {
+			if c.cache != nil && !errors.Is(err, ErrRateLimited) {
 				// The daemon vanished between the refusal and the
 				// fallback; journal the compressed container — the local
 				// tier's native format — and let Reconcile sort it out.
@@ -758,6 +840,12 @@ func (c *Client) TryAcquire(digest, owner string, ttl time.Duration) (store.Leas
 		return &remoteLease{c: c, digest: digest, owner: owner, token: ar.Token, stolen: ar.Stolen}, true, nil
 	case http.StatusConflict:
 		return nil, false, nil
+	case http.StatusUnauthorized, http.StatusForbidden:
+		return nil, false, fmt.Errorf("storenet: acquire %s: %s: %w", digest, resp.Status, ErrAuth)
+	case http.StatusTooManyRequests:
+		// Lease ops are exactly-once, so a 429 is not retried here; the
+		// claim loop's wait/steal pacing is the natural backoff.
+		return nil, false, fmt.Errorf("storenet: acquire %s: %s: %w", digest, resp.Status, ErrRateLimited)
 	default:
 		return nil, false, fmt.Errorf("storenet: acquire %s: %s", digest, resp.Status)
 	}
@@ -790,6 +878,12 @@ func (c *Client) GC(p store.GCPolicy) (store.GCStats, error) {
 		return gs, fmt.Errorf("storenet: gc: %w", err)
 	}
 	data, readErr := readBody(resp, maxControlBytes)
+	if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
+		// GC is the admin-scoped verb, so this is the usual place a
+		// write-scope token discovers its ceiling; terminal like every
+		// auth refusal.
+		return gs, fmt.Errorf("storenet: gc: %s: %w", resp.Status, ErrAuth)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return gs, fmt.Errorf("storenet: gc: %s", resp.Status)
 	}

@@ -20,8 +20,15 @@ import (
 // store itself is the synchronisation point, exactly as it is for local
 // processes sharing the directory.
 type Server struct {
-	st  *store.Store
-	mux *http.ServeMux
+	st   *store.Store
+	mux  *http.ServeMux
+	auth *TokenSet // nil = open (trusted-LAN) mode
+
+	// metrics is the per-endpoint request/latency ledger the outermost
+	// ServeHTTP wrapper feeds and GET /metrics exports. It observes
+	// auth and rate-limit rejections too (the middleware runs inside
+	// the mux), so a 401/429 storm is visible in the scrape.
+	metrics *requestMetrics
 
 	// Lease churn served by this daemon instance — the fleet-wide
 	// contention view a single client's counters cannot give. In-memory
@@ -61,31 +68,80 @@ func (s *Server) LeaseStats() LeaseStats {
 	}
 }
 
-// NewServer builds the handler for a store.
-func NewServer(st *store.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET "+apiPrefix+"/blobs/{digest}", s.handleBlobGet) // matches HEAD too
-	s.mux.HandleFunc("PUT "+apiPrefix+"/blobs/{digest}", s.handleBlobPut)
-	s.mux.HandleFunc("GET "+apiPrefix+"/leases/{digest}", s.handleLeasePeek)
-	s.mux.HandleFunc("POST "+apiPrefix+"/leases/{digest}/acquire", s.handleLeaseAcquire)
-	s.mux.HandleFunc("POST "+apiPrefix+"/leases/{digest}/renew", s.handleLeaseRenew)
-	s.mux.HandleFunc("POST "+apiPrefix+"/leases/{digest}/release", s.handleLeaseRelease)
-	s.mux.HandleFunc("GET "+apiPrefix+"/index", s.handleIndex)
-	s.mux.HandleFunc("GET "+apiPrefix+"/stats", s.handleStats)
-	s.mux.HandleFunc("POST "+apiPrefix+"/gc", s.handleGC)
+// ServerOptions configures the optional production machinery; the zero
+// value is the open (trusted-LAN) v1 daemon.
+type ServerOptions struct {
+	// Auth, when non-nil, enforces bearer-token auth with per-token
+	// scopes and quotas on every /v1 route. Probes (/healthz, /readyz)
+	// and /metrics stay token-free regardless: they are registered
+	// outside the authed routes, so no middleware change can
+	// accidentally lock out the orchestrator or the scraper.
+	Auth *TokenSet
+}
+
+// NewServer builds the handler for a store in open mode.
+func NewServer(st *store.Store) *Server { return NewServerWith(st, ServerOptions{}) }
+
+// NewServerWith builds the handler for a store with production options.
+func NewServerWith(st *store.Store, opts ServerOptions) *Server {
+	s := &Server{st: st, mux: http.NewServeMux(), auth: opts.Auth, metrics: newRequestMetrics()}
+	s.route("GET "+apiPrefix+"/blobs/{digest}", ScopeRead, s.handleBlobGet) // matches HEAD too
+	s.route("PUT "+apiPrefix+"/blobs/{digest}", ScopeWrite, s.handleBlobPut)
+	s.route("GET "+apiPrefix+"/leases/{digest}", ScopeRead, s.handleLeasePeek)
+	s.route("POST "+apiPrefix+"/leases/{digest}/acquire", ScopeWrite, s.handleLeaseAcquire)
+	s.route("POST "+apiPrefix+"/leases/{digest}/renew", ScopeWrite, s.handleLeaseRenew)
+	s.route("POST "+apiPrefix+"/leases/{digest}/release", ScopeWrite, s.handleLeaseRelease)
+	s.route("GET "+apiPrefix+"/index", ScopeRead, s.handleIndex)
+	s.route("GET "+apiPrefix+"/stats", ScopeRead, s.handleStats)
+	// GC evicts blobs fleet-wide — any tenant's. Admin only.
+	s.route("POST "+apiPrefix+"/gc", ScopeAdmin, s.handleGC)
 	// Probes live outside the versioned prefix: they describe the
 	// process, not the API, and orchestrators expect them at the root.
+	// They and /metrics bypass auth and rate limits by construction —
+	// registered on the raw mux, not through route() — because a
+	// draining, throttled, or misconfigured daemon must still answer
+	// its probes or the orchestrator kills a healthy process.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", s.handleUnknown)
 	return s
+}
+
+// route registers an API handler, wrapped by auth enforcement when a
+// token set is configured. Tying the required scope to the
+// registration (rather than checks inside handlers) means a new
+// endpoint cannot forget enforcement.
+func (s *Server) route(pattern string, need Scope, h http.HandlerFunc) {
+	if s.auth == nil {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if !s.auth.admit(w, r, need) {
+			return
+		}
+		h(w, r)
+	})
 }
 
 // Store returns the store the server fronts.
 func (s *Server) Store() *store.Store { return s.st }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is also the metrics
+// middleware: every request — including auth and rate-limit
+// rejections — is observed with its endpoint pattern (set by the mux
+// on dispatch), status, and latency.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	endpoint := r.Pattern
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	s.metrics.observe(endpoint, sw.code, time.Since(start))
+}
 
 // digest extracts and validates the {digest} path segment; an empty
 // return means the response has been written.

@@ -46,7 +46,18 @@ ratio=$(go test -run 'TestBlobCompressionRatio$' -v . |
 	sed -n 's/.*blob_compression_ratio=\([0-9.]*\).*/\1/p' | head -1)
 echo "bench_smoke: blob_compression_ratio=${ratio:-unknown}"
 
-printf '%s\n' "$raw" | awk -v cores="$(nproc 2>/dev/null || echo 1)" -v blob_ratio="${ratio:-0}" '
+# Daemon latency under concurrent multi-tenant load: the loadgen test
+# logs p50/p99 from the /metrics histograms of an authed loopback
+# stored serving a mixed Get/Put/lease slam. Half-strength here — the
+# full 100-client version runs in the storenet test suite; this run
+# exists to record the quantiles, not to stress.
+loadout=$(STORED_LOAD_CLIENTS=50 go test -run 'TestStoredLoadConcurrent$' -v ./internal/storenet)
+p50=$(printf '%s\n' "$loadout" | sed -n 's/.*stored_p50_ns=\([0-9]*\).*/\1/p' | head -1)
+p99=$(printf '%s\n' "$loadout" | sed -n 's/.*stored_p99_ns=\([0-9]*\).*/\1/p' | head -1)
+echo "bench_smoke: stored_p50_ns=${p50:-unknown} stored_p99_ns=${p99:-unknown}"
+
+printf '%s\n' "$raw" | awk -v cores="$(nproc 2>/dev/null || echo 1)" -v blob_ratio="${ratio:-0}" \
+	-v stored_p50="${p50:-0}" -v stored_p99="${p99:-0}" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -132,6 +143,13 @@ END {
 	local_warm = ns["BenchmarkLocalWarmGet"]
 	if (degraded > 0 && local_warm > 0)
 		printf ",\n  \"degraded_warm_overhead\": %.2f", degraded / local_warm
+	# Daemon request latency under the concurrent authed load test:
+	# histogram-bucket upper-bound estimates (biased high by at most one
+	# bucket), from the same /metrics series operators scrape.
+	if (stored_p50 > 0)
+		printf ",\n  \"stored_p50_ns\": %d", stored_p50
+	if (stored_p99 > 0)
+		printf ",\n  \"stored_p99_ns\": %d", stored_p99
 	printf "\n}\n"
 }' >"$out"
 

@@ -36,6 +36,23 @@ echo "== go test -race (v1->v2 blob migration) =="
 go test -race -run 'TestV1Blob|TestGetRawServesV1AsV2|TestMixedStoreRebuild|TestCorruptV2Blob' \
 	-count 2 ./internal/store
 
+echo "== go test -race (backend conformance + auth/ratelimit) =="
+go test -race -count 2 \
+	-run 'TestBackendConformance|TestParseTokens|TestAuthScopeEnforcement|TestRateLimit429|TestByteQuota429|TestClientAuthTerminal|TestClient429HonorsRetryAfterWithoutBreakerTrip|TestAuthedProbesWhileDrainingAndThrottled' \
+	./internal/store ./internal/storenet
+go test -race -run 'TestDaemonAuthTokens|TestDaemonTLS|TestDaemonProbesSurviveAuthAndDrain' ./cmd/stored
+
+echo "== go test -race (stored load, reduced concurrency) =="
+STORED_LOAD_CLIENTS=25 go test -race -run 'TestStoredLoadConcurrent$' ./internal/storenet
+
+echo "== fuzz smoke (blob codec) =="
+# One target per invocation (go test's -fuzz constraint); a few seconds
+# each is a smoke over the seeded corpus plus whatever the engine grows,
+# not a soak — the corpus seeds alone cover both containers, truncation,
+# bit flips and the inflation rail.
+go test -run '^$' -fuzz 'FuzzDecodeBlob$' -fuzztime 5s ./internal/store
+go test -run '^$' -fuzz 'FuzzF64UnmarshalJSON$' -fuzztime 5s ./internal/store
+
 echo "== blob codec benchmarks =="
 go test -run '^$' -bench 'BenchmarkBlob' -benchtime 20x -benchmem ./internal/store
 
