@@ -16,7 +16,10 @@
 // scope (read/write/admin) and optional per-token rate and byte quotas
 // (throttled requests get 429 + Retry-After). /healthz, /readyz, and
 // /metrics always answer without a token — probes and scrapers are
-// unauthenticated by design. With -cert/-key the daemon serves HTTPS.
+// unauthenticated by design. SIGHUP re-reads the -tokens file and swaps
+// the credential set in place — no listener drop, no probe blip; a file
+// that fails to parse is logged and the previous tokens stay in force.
+// With -cert/-key the daemon serves HTTPS.
 // GET /metrics exports Prometheus-format store gauges and per-endpoint
 // request/latency histograms.
 //
@@ -88,6 +91,7 @@ type daemon struct {
 	certFile   string // with keyFile: serve TLS
 	keyFile    string
 	auth       *storenet.TokenSet // nil = open mode
+	tokensPath string             // re-read on SIGHUP
 
 	mu  sync.Mutex // serializes log lines (the GC/stats loops run concurrently)
 	out io.Writer
@@ -149,6 +153,7 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		certFile:   *certFile,
 		keyFile:    *keyFile,
 		auth:       auth,
+		tokensPath: *tokens,
 		out:        out,
 	}, nil
 }
@@ -183,6 +188,12 @@ func (d *daemon) serve(ctx context.Context) error {
 	if d.statsEvery > 0 {
 		go d.statsLoop(ctx)
 	}
+	if d.tokensPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go d.reloadLoop(ctx, hup)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if d.certFile != "" {
@@ -210,6 +221,30 @@ func (d *daemon) serve(ctx context.Context) error {
 		return nil
 	case err := <-errc:
 		return err
+	}
+}
+
+// reloadLoop re-reads the -tokens file on every SIGHUP and swaps the
+// server's credential set atomically — credential rotation without a
+// restart. The listener never drops and in-flight requests finish
+// under the set that admitted them, so probes and balancers see
+// nothing. A file that fails to load (deleted, malformed line) is
+// logged and the previous tokens stay in force: a botched rotation
+// must not lock the fleet out.
+func (d *daemon) reloadLoop(ctx context.Context, hup <-chan os.Signal) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			ts, err := storenet.LoadTokens(d.tokensPath)
+			if err != nil {
+				d.logf("stored: auth: reload failed, keeping previous tokens: %v\n", err)
+				continue
+			}
+			d.srv.SetAuth(ts)
+			d.logf("stored: auth: reloaded %d tokens from %s\n", ts.Len(), d.tokensPath)
+		}
 	}
 }
 

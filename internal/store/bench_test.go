@@ -140,8 +140,29 @@ func codecResult() *core.Result {
 }
 
 // BenchmarkBlobEncode measures the streaming Put-path encode: result →
-// JSON → pooled gzip, no full-buffer materialisation.
+// v3 binary body → pooled gzip, via pooled appender scratch — no
+// intermediate envelope materialisation. bench_smoke.sh tracks its
+// allocs/op and bytes/op against the encoding/json-era baseline
+// (BenchmarkBlobEncodeJSON is that old path, kept for the comparison).
 func BenchmarkBlobEncode(b *testing.B) {
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := codecResult()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeBlobV3To(io.Discard, k, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlobEncodeJSON is the superseded v2 encode path (result →
+// json.MarshalIndent envelope → pooled gzip): the baseline the v3
+// streaming encoder's alloc reduction is measured against.
+func BenchmarkBlobEncodeJSON(b *testing.B) {
 	k, err := KeyFor("a100", 0, 42, testConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -156,11 +177,30 @@ func BenchmarkBlobEncode(b *testing.B) {
 	}
 }
 
-// BenchmarkBlobDecode measures the warm-path decode of the v2
-// container (pooled gzip reader inflating into a pooled scratch buffer
-// ahead of the JSON parse) — BenchmarkBlobDecodeV1 is the same payload
-// in the legacy plain container, for the migration-era comparison.
+// BenchmarkBlobDecode measures the warm-path decode of the v3
+// container (pooled gzip reader inflating into pooled scratch ahead of
+// the bounds-checked binary walk) — BenchmarkBlobDecodeV2 and
+// BenchmarkBlobDecodeV1 are the same payload in the legacy containers,
+// for the migration-era comparison.
 func BenchmarkBlobDecode(b *testing.B) {
+	k, err := KeyFor("a100", 0, 42, testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := EncodeBlobV3(k, codecResult())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateBlob(data, k.Digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobDecodeV2(b *testing.B) {
 	k, err := KeyFor("a100", 0, 42, testConfig())
 	if err != nil {
 		b.Fatal(err)

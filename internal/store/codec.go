@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"golatest/internal/cluster"
@@ -368,30 +369,33 @@ var ErrInvalidBlob = errors.New("invalid blob")
 
 // Blob container formats. The canonical envelope — the storedBlob JSON
 // above, which the digest/ETag contract and SchemaVersion govern — is
-// unchanged since v1; what changed in v2 is only the container those
-// canonical bytes travel and rest in:
+// unchanged since v1; what changed in v2 and again in v3 is only the
+// container those canonical bytes (or, for v3, their bit-exact binary
+// equivalent) travel and rest in:
 //
 //	v1: the canonical JSON bytes, verbatim (plain, uncompressed)
 //	v2: gzip(canonical JSON bytes)
+//	v3: magic ‖ gzip(binary body)            (see codecv3.go)
 //
-// The two are distinguished by the gzip magic (0x1f 0x8b): the
-// canonical envelope always starts with '{', so the first two bytes
-// decide the container unambiguously. Readers accept both; writers
-// emit v2. Because the inner envelope — and therefore everything the
-// digest covers — is identical, introducing v2 did NOT bump
-// SchemaVersion (the same reasoning that kept the manifest journal at
-// schema 1: the campaign payload contract is untouched), which is what
-// makes the v1 → v2 migration transparent: a v1 blob still matches its
-// digest, still validates, and is re-written as v2 the first time it
-// is read.
+// The three are distinguished by their leading bytes: the gzip magic
+// (0x1f 0x8b), the v3 magic (0xB3 'G' 'L' '3'), and the canonical
+// envelope's '{' — ContainerOf is the single sniff every layer shares.
+// Readers accept all three; writers emit v3. Because the canonical
+// envelope — and therefore everything the digest covers — is identical
+// across containers, neither v2 nor v3 bumped SchemaVersion (the same
+// reasoning that kept the manifest journal at schema 1: the campaign
+// payload contract is untouched), which is what makes the migrations
+// transparent: a v1 or v2 blob still matches its digest, still
+// validates, and is re-written as v3 the first time it is read.
 const (
 	gzipMagic0 = 0x1f
 	gzipMagic1 = 0x8b
 )
 
-// IsGzipBlob sniffs the container format of raw blob bytes — the one
-// discriminator both the store codec and the network layer use, so the
-// two can never classify a blob differently.
+// IsGzipBlob sniffs the v2 (gzip) container. Most callers want the
+// three-way ContainerOf instead; this remains for the layers whose
+// question really is "is this byte stream a bare gzip member" (e.g.
+// HTTP Content-Encoding decisions).
 func IsGzipBlob(data []byte) bool {
 	return len(data) >= 2 && data[0] == gzipMagic0 && data[1] == gzipMagic1
 }
@@ -456,14 +460,13 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// encodeEnvelope renders the canonical envelope JSON. The encoding is
-// json.MarshalIndent, unchanged since v1 — pre-container blobs carry
-// exactly these bytes, which is what lets healV1 (compress the legacy
-// bytes verbatim) and a fresh Put of the same key converge on
-// identical v2 containers. (json.Encoder would append a trailing
-// newline and fork the byte stream per writer generation; encoding/
-// json offers no truly streaming marshal either way — the canonical
-// bytes exist once, transiently, inside any encoder.)
+// encodeEnvelope renders the canonical envelope JSON through
+// encoding/json — json.MarshalIndent, unchanged since v1. It is no
+// longer on any production path (the hand-rolled renderer in
+// canonical.go produces byte-identical output without materialising
+// the storedResult intermediate) but is retained as the reference
+// implementation the equivalence test pins the renderer against: the
+// canonical-bytes contract is "whatever MarshalIndent said", forever.
 func encodeEnvelope(k Key, res *core.Result) ([]byte, error) {
 	data, err := json.MarshalIndent(&storedBlob{
 		Schema:   SchemaVersion,
@@ -479,11 +482,9 @@ func encodeEnvelope(k Key, res *core.Result) ([]byte, error) {
 }
 
 // encodeBlobTo writes the v2 container of a campaign result straight
-// into w (typically the atomic-rename staging file or a network body):
-// canonical JSON → pooled gzip writer → w. The compressed bytes are
-// never materialised — they stream into w as the writer flushes — and
-// the transient canonical buffer is the unavoidable cost of
-// encoding/json (tracked as an open item). Returns the canonical size
+// into w: canonical JSON → pooled gzip writer → w. Superseded by
+// encodeBlobV3To on the Put path; kept behind EncodeBlobCompressed for
+// legacy-container fixtures and benchmarks. Returns the canonical size
 // for the index's RawBytes.
 func encodeBlobTo(w io.Writer, k Key, res *core.Result) (int64, error) {
 	data, err := encodeEnvelope(k, res)
@@ -514,16 +515,25 @@ func gzipTo(w io.Writer, data []byte) error {
 // result under its key — the bytes the digest/ETag contract vouches
 // for and that validation is defined over. Equal key ⇒ equal result ⇒
 // equal bytes, which is what makes a blob immutable for its digest.
-// Storage and the wire carry these bytes inside the v2 container; see
-// EncodeBlobCompressed.
+// Storage and the wire carry these bytes (or their bit-exact binary
+// equivalent) inside the v2/v3 containers; see EncodeBlobV3.
 func EncodeBlob(k Key, res *core.Result) ([]byte, error) {
-	return encodeEnvelope(k, res)
+	if res == nil {
+		return nil, fmt.Errorf("store: nil result for %s", k)
+	}
+	var buf bytes.Buffer
+	if _, err := writeCanonicalTo(&buf, k, res); err != nil {
+		return nil, fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	return buf.Bytes(), nil
 }
 
 // EncodeBlobCompressed renders the v2 container — gzip around the
-// canonical bytes — that Put writes to disk and the network client
-// ships. Deterministic for a given key and build (fixed gzip level, no
-// gzip header metadata), so concurrent identical writers converge.
+// canonical bytes. Writers emit v3 now (EncodeBlobV3); this remains
+// for the migration and conformance tests that plant legacy-generation
+// blobs, and for any legacy peer that needs bytes it can parse.
+// Deterministic for a given key and build (fixed gzip level, no gzip
+// header metadata), so concurrent identical writers converge.
 func EncodeBlobCompressed(k Key, res *core.Result) ([]byte, error) {
 	var buf bytes.Buffer
 	if _, err := encodeBlobTo(&buf, k, res); err != nil {
@@ -535,29 +545,94 @@ func EncodeBlobCompressed(k Key, res *core.Result) ([]byte, error) {
 // WriteCanonical writes a blob's canonical bytes into w: identity
 // container bytes pass through verbatim, a v2 container is inflated
 // through the codec's pooled readers under the usual canonical-size
-// rail. The network daemon uses it to serve identity-only clients from
-// the compressed disk bytes without growing its own inflate machinery.
+// rail, and a v3 container is decoded and its canonical JSON rendered
+// on the fly. The network daemon uses it to serve identity-only
+// clients from whatever container the disk holds.
 func WriteCanonical(w io.Writer, data []byte) error {
-	if !IsGzipBlob(data) {
+	switch ContainerOf(data) {
+	case ContainerV3:
+		res, k, err := decodeV3ForRender(data)
+		if err != nil {
+			return err
+		}
+		if _, err := writeCanonicalTo(w, k, res); err != nil {
+			return fmt.Errorf("store: render blob: %w", err)
+		}
+		return nil
+	case ContainerV2:
+		r := bytes.NewReader(data)
+		gz := gzipReaders.Get().(*gzip.Reader)
+		if err := gz.Reset(r); err != nil {
+			gzipReaders.Put(gz)
+			return fmt.Errorf("store: inflate blob: %w", err)
+		}
+		gz.Multistream(false)
+		buf := copyBufs.Get().(*[]byte)
+		_, err := io.CopyBuffer(w, io.LimitReader(gz, maxCanonicalBytes), *buf)
+		copyBufs.Put(buf)
+		gz.Close()
+		gzipReaders.Put(gz)
+		if err != nil {
+			return fmt.Errorf("store: inflate blob: %w", err)
+		}
+		return nil
+	default:
 		_, err := w.Write(data)
 		return err
 	}
-	r := bytes.NewReader(data)
-	gz := gzipReaders.Get().(*gzip.Reader)
-	if err := gz.Reset(r); err != nil {
-		gzipReaders.Put(gz)
-		return fmt.Errorf("store: inflate blob: %w", err)
+}
+
+// WriteCanonicalCompressed writes gzip(canonical bytes) — the v2
+// container — into w from any disk container: v2 passes through
+// verbatim, v1 deflates the canonical bytes, and v3 decodes and
+// re-renders the canonical JSON straight through the pooled gzip
+// writer. The daemon uses it to serve gzip-accepting legacy clients
+// (which understand the canonical bytes under Content-Encoding: gzip,
+// but not the v3 container) from a v3-era disk. Deterministic, so the
+// response equals what EncodeBlobCompressed would produce.
+func WriteCanonicalCompressed(w io.Writer, data []byte) error {
+	switch ContainerOf(data) {
+	case ContainerV2:
+		_, err := w.Write(data)
+		return err
+	case ContainerV3:
+		res, k, err := decodeV3ForRender(data)
+		if err != nil {
+			return err
+		}
+		gz := gzipWriters.Get().(*gzip.Writer)
+		gz.Reset(w)
+		_, rerr := writeCanonicalTo(gz, k, res)
+		cerr := gz.Close()
+		gzipWriters.Put(gz)
+		if rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return fmt.Errorf("store: render blob: %w", rerr)
+		}
+		return nil
+	default:
+		if err := gzipTo(w, data); err != nil {
+			return fmt.Errorf("store: compress blob: %w", err)
+		}
+		return nil
 	}
-	gz.Multistream(false)
-	buf := copyBufs.Get().(*[]byte)
-	_, err := io.CopyBuffer(w, io.LimitReader(gz, maxCanonicalBytes), *buf)
-	copyBufs.Put(buf)
-	gz.Close()
-	gzipReaders.Put(gz)
+}
+
+// decodeV3ForRender decodes a v3 container far enough to re-render its
+// canonical form: the envelope key plus the decoded result.
+func decodeV3ForRender(data []byte) (*core.Result, Key, error) {
+	buf, err := inflateV3(data)
 	if err != nil {
-		return fmt.Errorf("store: inflate blob: %w", err)
+		return nil, Key{}, fmt.Errorf("store: inflate blob: %w", err)
 	}
-	return nil
+	b, _, derr := decodeV3Body(buf.Bytes())
+	putDecodeBuf(buf)
+	if derr != nil {
+		return nil, Key{}, fmt.Errorf("store: decode blob: %w", derr)
+	}
+	return decodeResult(b.Result), Key{Digest: b.Digest, Profile: b.Profile, Instance: b.Instance}, nil
 }
 
 // copyBufs holds WriteCanonical's copy scratch.
@@ -575,30 +650,54 @@ func compressBlobBytes(data []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// parseBlob validates blob bytes in either container format against
-// the digest they are stored (or addressed) under and returns the
-// envelope plus the canonical byte count. A compressed container is
-// inflated through a pooled gzip reader into a pooled scratch buffer —
-// the full inflate-before-parse is what verifies the gzip CRC, so a
-// truncated or bit-flipped stream whose prefix still deflates can
-// never be served — and the JSON parse runs over that recycled buffer,
-// keeping a warm decode's allocations proportional to the compressed
-// size. Any mismatch — garbage JSON, a broken gzip stream or checksum,
-// schema drift, a blob renamed onto the wrong digest, a truncated
-// body, trailing garbage — wraps ErrInvalidBlob; callers treat it as a
-// cache miss and recompute.
-func parseBlob(data []byte, digest string) (b *storedBlob, rawBytes int64, compressed bool, err error) {
+// decodePasses counts every full blob parse (any container) this
+// process has performed. It exists for the single-validation pipeline
+// contract: tests instrument it to prove that a warm remote Get
+// decodes the wire bytes exactly once before they land in the local
+// tier verbatim.
+var decodePasses atomic.Int64
+
+// DecodePasses returns the number of blob parses performed so far —
+// an instrumentation hook, not an operational counter.
+func DecodePasses() int64 { return decodePasses.Load() }
+
+// parseBlob validates blob bytes in any container format against the
+// digest they are stored (or addressed) under and returns the envelope
+// plus the canonical byte count. A compressed container is inflated
+// through a pooled gzip reader into a pooled scratch buffer — the full
+// inflate-before-parse is what verifies the gzip CRC, so a truncated
+// or bit-flipped stream whose prefix still deflates can never be
+// served — and the JSON (v1/v2) or binary (v3) parse runs over that
+// recycled buffer, keeping a warm decode's allocations proportional to
+// the compressed size. Any mismatch — garbage JSON, a malformed binary
+// section, a broken gzip stream or checksum, schema drift, a blob
+// renamed onto the wrong digest, a truncated body, trailing garbage —
+// wraps ErrInvalidBlob; callers treat it as a cache miss and
+// recompute.
+func parseBlob(data []byte, digest string) (b *storedBlob, rawBytes int64, cont Container, err error) {
+	decodePasses.Add(1)
 	invalid := func(cause error) error {
 		return fmt.Errorf("store: blob %s: %w: %v", digest, ErrInvalidBlob, cause)
 	}
-	canonical := data
-	if IsGzipBlob(data) {
-		compressed = true
+	cont = ContainerOf(data)
+	var canonical []byte
+	switch cont {
+	case ContainerV3:
+		buf, ierr := inflateV3(data)
+		if ierr != nil {
+			return nil, 0, cont, invalid(ierr)
+		}
+		b, rawBytes, err = decodeV3Body(buf.Bytes())
+		putDecodeBuf(buf)
+		if err != nil {
+			return nil, 0, cont, invalid(err)
+		}
+	case ContainerV2:
 		r := bytes.NewReader(data)
 		gz := gzipReaders.Get().(*gzip.Reader)
 		if rerr := gz.Reset(r); rerr != nil {
 			gzipReaders.Put(gz)
-			return nil, 0, true, invalid(rerr)
+			return nil, 0, cont, invalid(rerr)
 		}
 		// Single-member containers only: in (the default) multistream
 		// mode a second concatenated gzip member would be transparently
@@ -616,48 +715,54 @@ func parseBlob(data []byte, digest string) (b *storedBlob, rawBytes int64, compr
 		gz.Close()
 		gzipReaders.Put(gz)
 		if rerr != nil {
-			return nil, 0, true, invalid(rerr)
+			return nil, 0, cont, invalid(rerr)
 		}
 		if int64(buf.Len()) > maxCanonicalBytes {
-			return nil, 0, true, invalid(fmt.Errorf("inflates past %d bytes", maxCanonicalBytes))
+			return nil, 0, cont, invalid(fmt.Errorf("inflates past %d bytes", maxCanonicalBytes))
 		}
 		// flate never reads past the final block and gzip reads exactly
 		// the 8-byte trailer, so whatever remains in r is trailing data
 		// after the container — reject it.
 		if r.Len() != 0 {
-			return nil, 0, true, invalid(fmt.Errorf("%d trailing bytes after container", r.Len()))
+			return nil, 0, cont, invalid(fmt.Errorf("%d trailing bytes after container", r.Len()))
 		}
 		canonical = buf.Bytes()
+	default: // ContainerV1: the canonical bytes verbatim
+		canonical = data
 	}
-	rawBytes = int64(len(canonical))
-	// The identity container honours the same rail: an oversized plain
-	// blob accepted here would be compressed on the way down and then
-	// trip the inflate limit on every read — the store-then-self-delete
-	// loop Put also refuses.
-	if rawBytes > maxCanonicalBytes {
-		return nil, rawBytes, compressed, invalid(fmt.Errorf("canonical size %d exceeds the %d-byte bound",
-			rawBytes, maxCanonicalBytes))
-	}
-	b = new(storedBlob)
-	if derr := json.Unmarshal(canonical, b); derr != nil {
-		return nil, rawBytes, compressed, invalid(derr)
+	if cont != ContainerV3 {
+		rawBytes = int64(len(canonical))
+		// The identity container honours the same rail: an oversized
+		// plain blob accepted here would be re-containered on the way
+		// down and then trip the inflate limit on every read — the
+		// store-then-self-delete loop Put also refuses.
+		if rawBytes > maxCanonicalBytes {
+			return nil, rawBytes, cont, invalid(fmt.Errorf("canonical size %d exceeds the %d-byte bound",
+				rawBytes, maxCanonicalBytes))
+		}
+		b = new(storedBlob)
+		if derr := json.Unmarshal(canonical, b); derr != nil {
+			return nil, rawBytes, cont, invalid(derr)
+		}
 	}
 	if b.Schema != SchemaVersion {
-		return nil, rawBytes, compressed, fmt.Errorf("store: blob %s: %w: schema %d, want %d",
+		return nil, rawBytes, cont, fmt.Errorf("store: blob %s: %w: schema %d, want %d",
 			digest, ErrInvalidBlob, b.Schema, SchemaVersion)
 	}
 	if b.Digest != digest {
-		return nil, rawBytes, compressed, fmt.Errorf("store: %w: blob digest %s does not match key %s",
+		return nil, rawBytes, cont, fmt.Errorf("store: %w: blob digest %s does not match key %s",
 			ErrInvalidBlob, b.Digest, digest)
 	}
-	return b, rawBytes, compressed, nil
+	return b, rawBytes, cont, nil
 }
 
-// ValidateBlob parses and validates raw blob bytes — v1 (plain) or v2
-// (gzip) container alike — against a digest and returns the decoded
-// result. The network client runs every response body through it, so a
-// truncated or tampered transfer is a miss (and a recompute), never a
-// wrong result.
+// ValidateBlob parses and validates raw blob bytes — v1 (plain), v2
+// (gzip) or v3 (binary) container alike — against a digest and returns
+// the decoded result. The network client runs every response body
+// through it, so a truncated or tampered transfer is a miss (and a
+// recompute), never a wrong result. Callers that go on to store the
+// bytes should use ValidateBlobBytes instead, which keeps the
+// validated bytes and the decoded result together.
 func ValidateBlob(data []byte, digest string) (*core.Result, error) {
 	b, _, _, err := parseBlob(data, digest)
 	if err != nil {

@@ -1,0 +1,596 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"golatest/internal/core"
+)
+
+// The v3 container. v1 and v2 both carry the canonical JSON envelope
+// (v2 gzip-wrapped); every f64 element in them is decimal text, so a
+// full-scale blob pays strconv both ways on every warm decode. v3
+// keeps the *contract* on the canonical bytes — the digest, the ETag,
+// SchemaVersion, and the envelope-level validation are all still
+// defined over the canonical JSON — but stores the payload as a
+// length-prefixed binary section instead:
+//
+//	v3: magic(4) ‖ gzip(body)
+//	body: schema u32 ‖ canonicalSize u64 ‖ envelope fields ‖ result
+//
+// All integers are little-endian and fixed-width; floats are IEEE-754
+// bits. Float fields that travel through the f64 JSON codec are
+// NaN-canonicalised at encode (every NaN payload collapses to the one
+// canonical quiet NaN), mirroring what a JSON round trip has always
+// done — which is what keeps heal-to-v3 deterministic: re-encoding a
+// decoded v1/v2 blob lands on the same bytes as a fresh Put of the
+// same key. canonicalSize records the size of the canonical JSON the
+// body decodes to, so the index's RawBytes (and the compression-ratio
+// stats) survive the format change without ever rendering the JSON on
+// a read.
+//
+// Slices encode as a u32 tag — v3NilSlice for a nil slice, the element
+// count otherwise — preserving the canonical encoding's nil-vs-empty
+// distinction ([]f64 null vs []); the three append-built slices of the
+// canonical form (pairs, measurements, phase-1 stats) collapse empty
+// to nil exactly as encodeResult always has. Strings are u32 length
+// prefix plus bytes. Every count is bounds-checked against the bytes
+// actually remaining before anything is allocated, so a tampered
+// length prefix is an invalid blob, not an allocation storm; the gzip
+// layer reuses the v2 rails (pooled writers/readers, single-member
+// enforcement, trailing-byte rejection, the maxCanonicalBytes inflate
+// bound).
+//
+// Like v2, introducing v3 does NOT bump SchemaVersion: the canonical
+// envelope, and therefore every digest, is untouched. v1/v2 blobs keep
+// hitting and heal forward to v3 on first read.
+
+// v3Magic opens every v3 container. The first byte is outside both
+// prior discriminators (the envelope's '{' and the gzip magic 0x1f)
+// and outside ASCII, so the three containers sniff unambiguously.
+var v3Magic = [4]byte{0xB3, 'G', 'L', '3'}
+
+// v3NilSlice is the slice tag distinguishing nil from empty.
+const v3NilSlice = ^uint32(0)
+
+// canonicalNaN is the one NaN bit pattern v3 stores: the same value
+// every "NaN" JSON spelling has always decoded to.
+var canonicalNaN = math.Float64bits(math.NaN())
+
+// Container identifies a blob container format; ContainerOf is the one
+// discriminator the store codec, the network layer, and the tests all
+// share, so no two layers can classify the same bytes differently.
+type Container int
+
+const (
+	// ContainerV1 is the canonical JSON envelope, verbatim (legacy,
+	// read-only).
+	ContainerV1 Container = 1
+	// ContainerV2 is gzip(canonical JSON) (legacy, read-only).
+	ContainerV2 Container = 2
+	// ContainerV3 is magic ‖ gzip(binary body) — what writers emit.
+	ContainerV3 Container = 3
+)
+
+func (c Container) String() string {
+	switch c {
+	case ContainerV1:
+		return "v1"
+	case ContainerV2:
+		return "v2"
+	case ContainerV3:
+		return "v3"
+	}
+	return fmt.Sprintf("container(%d)", int(c))
+}
+
+// ContainerOf sniffs the container format of raw blob bytes. Anything
+// that is neither the v3 magic nor the gzip magic is classified v1 and
+// left to the JSON parse to accept or reject.
+func ContainerOf(data []byte) Container {
+	if len(data) >= 4 && data[0] == v3Magic[0] && data[1] == v3Magic[1] &&
+		data[2] == v3Magic[2] && data[3] == v3Magic[3] {
+		return ContainerV3
+	}
+	if IsGzipBlob(data) {
+		return ContainerV2
+	}
+	return ContainerV1
+}
+
+// binary append helpers on the shared pooled appender.
+
+func (a *appender) u8(v byte) { a.byte(v) }
+
+func (a *appender) u32le(v uint32) {
+	a.grow(4)
+	a.buf = binary.LittleEndian.AppendUint32(a.buf, v)
+	a.n += 4
+}
+
+func (a *appender) u64le(v uint64) {
+	a.grow(8)
+	a.buf = binary.LittleEndian.AppendUint64(a.buf, v)
+	a.n += 8
+}
+
+func (a *appender) i64le(v int64) { a.u64le(uint64(v)) }
+
+// f64bits writes raw IEEE-754 bits (plain float fields, always finite
+// past the canonical sizing pass).
+func (a *appender) f64bits(v float64) { a.u64le(math.Float64bits(v)) }
+
+// f64canon writes NaN-canonicalised bits (fields under the f64 codec).
+func (a *appender) f64canon(v float64) {
+	if math.IsNaN(v) {
+		a.u64le(canonicalNaN)
+		return
+	}
+	a.u64le(math.Float64bits(v))
+}
+
+func (a *appender) v3String(s string) {
+	a.u32le(uint32(len(s)))
+	a.raw(s)
+}
+
+func (a *appender) v3F64Slice(xs []float64) {
+	if xs == nil {
+		a.u32le(v3NilSlice)
+		return
+	}
+	a.u32le(uint32(len(xs)))
+	for _, v := range xs {
+		a.f64canon(v)
+	}
+}
+
+func (a *appender) v3PairValue(p core.Pair) {
+	a.f64bits(p.InitMHz)
+	a.f64bits(p.TargetMHz)
+}
+
+func (a *appender) v3PairSlice(ps []core.Pair) {
+	if ps == nil {
+		a.u32le(v3NilSlice)
+		return
+	}
+	a.u32le(uint32(len(ps)))
+	for _, p := range ps {
+		a.v3PairValue(p)
+	}
+}
+
+// encodeBlobV3To streams the v3 container of a campaign result into w
+// (typically the atomic-rename staging file or a network body) and
+// returns the canonical size for the index's RawBytes. Two passes, no
+// materialisation: a counting render of the canonical JSON first —
+// which both sizes RawBytes and enforces JSON-encodability, so v3
+// accepts exactly the results v1 did — then the binary body through
+// the pooled gzip writer.
+func encodeBlobV3To(w io.Writer, k Key, res *core.Result) (int64, error) {
+	rawBytes, err := writeCanonicalTo(nil, k, res)
+	if err != nil {
+		return 0, fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	if _, err := w.Write(v3Magic[:]); err != nil {
+		return rawBytes, fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	gz := gzipWriters.Get().(*gzip.Writer)
+	gz.Reset(w)
+	a := getAppender(gz)
+	encodeV3Body(a, k, res, rawBytes)
+	_, aerr := a.total()
+	putAppender(a)
+	cerr := gz.Close()
+	gzipWriters.Put(gz)
+	if aerr == nil {
+		aerr = cerr
+	}
+	if aerr != nil {
+		return rawBytes, fmt.Errorf("store: encode %s: %w", k, aerr)
+	}
+	return rawBytes, nil
+}
+
+// EncodeBlobV3 renders the v3 container — what Put writes to disk and
+// the network client ships. Deterministic for a given key and build
+// (fixed gzip level, canonical NaN bits, no gzip header metadata), so
+// concurrent identical writers and legacy-blob healers converge
+// byte-for-byte.
+func EncodeBlobV3(k Key, res *core.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("store: nil result for %s", k)
+	}
+	var buf bytes.Buffer
+	if _, err := encodeBlobV3To(&buf, k, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeV3Body(a *appender, k Key, res *core.Result, rawBytes int64) {
+	a.u32le(uint32(SchemaVersion))
+	a.u64le(uint64(rawBytes))
+	a.v3String(k.Digest)
+	a.v3String(k.Profile)
+	a.i64le(int64(k.Instance))
+
+	a.v3String(res.DeviceName)
+	a.v3String(res.Architecture)
+	a.i64le(res.CaptureHintNs)
+
+	if res.Phase1 == nil {
+		a.u8(0)
+	} else {
+		a.u8(1)
+		p1 := res.Phase1
+		if len(p1.Stats) == 0 {
+			a.u32le(v3NilSlice) // append-built in the canonical form: empty ⇒ null
+		} else {
+			freqs := make([]float64, 0, len(p1.Stats))
+			for f := range p1.Stats {
+				freqs = append(freqs, f)
+			}
+			sortFloat64s(freqs)
+			a.u32le(uint32(len(freqs)))
+			for _, f := range freqs {
+				fs := p1.Stats[f]
+				a.f64bits(fs.FreqMHz)
+				a.i64le(int64(fs.Iter.N))
+				a.f64canon(fs.Iter.Mean)
+				a.f64canon(fs.Iter.Std)
+				a.bool8(fs.Normalish)
+			}
+		}
+		a.v3PairSlice(p1.ValidPairs)
+		a.v3PairSlice(p1.Excluded)
+		if p1.Unstable == nil {
+			a.u32le(v3NilSlice)
+		} else {
+			a.u32le(uint32(len(p1.Unstable)))
+			for _, v := range p1.Unstable {
+				a.f64bits(v)
+			}
+		}
+	}
+
+	if len(res.Pairs) == 0 {
+		a.u32le(v3NilSlice) // append-built: empty ⇒ null
+		return
+	}
+	a.u32le(uint32(len(res.Pairs)))
+	for _, pr := range res.Pairs {
+		if pr == nil {
+			a.u8(0)
+			continue
+		}
+		a.u8(1)
+		a.v3PairValue(pr.Pair)
+		if len(pr.Measurements) == 0 {
+			a.u32le(v3NilSlice) // append-built: empty ⇒ null
+		} else {
+			a.u32le(uint32(len(pr.Measurements)))
+			for i := range pr.Measurements {
+				m := &pr.Measurements[i]
+				a.v3PairValue(m.Pair)
+				a.f64canon(m.LatencyMs)
+				a.i64le(m.TsDevNs)
+				a.i64le(m.TeDevNs)
+				a.i64le(int64(m.SM))
+				a.i64le(int64(m.TransitionIndex))
+				a.f64canon(m.InjectedMs)
+				a.i64le(m.SyncSpreadNs)
+			}
+		}
+		a.v3F64Slice(pr.Samples)
+		a.v3F64Slice(pr.Injected)
+		a.i64le(int64(pr.Attempts))
+		a.i64le(int64(pr.Failures))
+		a.i64le(int64(pr.DiscardedByThrottle))
+		a.i64le(int64(pr.ThrottleEvents))
+		a.bool8(pr.Skipped)
+		a.v3String(pr.SkipReason)
+		a.v3F64Slice(pr.Kept)
+		a.v3F64Slice(pr.Outliers)
+		if pr.Clusters == nil {
+			a.u8(0)
+		} else {
+			a.u8(1)
+			c := pr.Clusters
+			if c.Labels == nil {
+				a.u32le(v3NilSlice)
+			} else {
+				a.u32le(uint32(len(c.Labels)))
+				for _, l := range c.Labels {
+					a.i64le(int64(l))
+				}
+			}
+			a.i64le(int64(c.NumClusters))
+			a.f64canon(c.Eps)
+			a.i64le(int64(c.MinPts))
+		}
+		s := pr.Summary
+		a.i64le(int64(s.N))
+		a.f64canon(s.Mean)
+		a.f64canon(s.Std)
+		a.f64canon(s.Min)
+		a.f64canon(s.Q05)
+		a.f64canon(s.Q25)
+		a.f64canon(s.Median)
+		a.f64canon(s.Q75)
+		a.f64canon(s.Q95)
+		a.f64canon(s.Max)
+		a.f64canon(pr.FinalRSE)
+	}
+}
+
+func (a *appender) bool8(v bool) {
+	if v {
+		a.u8(1)
+	} else {
+		a.u8(0)
+	}
+}
+
+// v3Reader is the bounds-checked cursor over an inflated v3 body. The
+// first malformed read latches err and turns every subsequent read
+// into a cheap zero-value no-op, so decoders need no per-field error
+// plumbing; strings and slices are copied out, because the backing
+// buffer is pooled scratch that is recycled the moment the parse
+// returns.
+type v3Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *v3Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *v3Reader) need(n int64) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 || int64(len(r.b)-r.off) < n {
+		r.fail("truncated body: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return false
+	}
+	return true
+}
+
+func (r *v3Reader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *v3Reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *v3Reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *v3Reader) i64() int64   { return int64(r.u64()) }
+func (r *v3Reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads a slice tag and validates it against the bytes actually
+// remaining: a slice of n elements of elemSize bytes each must fit in
+// the unread body. Returns (-1, nil slice) for the nil tag.
+func (r *v3Reader) count(elemSize int64) int {
+	tag := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if tag == v3NilSlice {
+		return -1
+	}
+	n := int64(tag)
+	if elemSize > 0 && n > int64(len(r.b)-r.off)/elemSize {
+		r.fail("slice count %d overruns the %d-byte body", n, len(r.b))
+		return 0
+	}
+	return int(n)
+}
+
+func (r *v3Reader) str() string {
+	n := r.u32()
+	if !r.need(int64(n)) {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)]) // copies out of the pooled buffer
+	r.off += int(n)
+	return s
+}
+
+func (r *v3Reader) f64Slice() []f64 {
+	n := r.count(8)
+	if n < 0 || r.err != nil {
+		return nil
+	}
+	out := make([]f64, n)
+	for i := range out {
+		out[i] = f64(r.f64())
+	}
+	return out
+}
+
+func (r *v3Reader) pairValue() core.Pair {
+	return core.Pair{InitMHz: r.f64(), TargetMHz: r.f64()}
+}
+
+func (r *v3Reader) pairSlice() []core.Pair {
+	n := r.count(16)
+	if n < 0 || r.err != nil {
+		return nil
+	}
+	out := make([]core.Pair, n)
+	for i := range out {
+		out[i] = r.pairValue()
+	}
+	return out
+}
+
+// decodeV3Body parses an inflated v3 body into the envelope the shared
+// schema/digest checks run over.
+func decodeV3Body(body []byte) (*storedBlob, int64, error) {
+	r := &v3Reader{b: body}
+	b := &storedBlob{Schema: int(r.u32())}
+	rawBytes := int64(r.u64())
+	if r.err == nil && (rawBytes < 0 || rawBytes > maxCanonicalBytes) {
+		r.fail("canonical size %d outside [0, %d]", rawBytes, maxCanonicalBytes)
+	}
+	b.Digest = r.str()
+	b.Profile = r.str()
+	b.Instance = int(r.i64())
+
+	sr := &b.Result
+	sr.DeviceName = r.str()
+	sr.Architecture = r.str()
+	sr.CaptureHintNs = r.i64()
+
+	if r.u8() != 0 {
+		p1 := &storedPhase1{}
+		if n := r.count(33); n >= 0 && r.err == nil { // 8+8+8+8+1 per stat
+			p1.Stats = make([]storedFreqStats, n)
+			for i := range p1.Stats {
+				p1.Stats[i] = storedFreqStats{
+					FreqMHz:   r.f64(),
+					N:         int(r.i64()),
+					Mean:      f64(r.f64()),
+					Std:       f64(r.f64()),
+					Normalish: r.u8() != 0,
+				}
+			}
+		}
+		p1.ValidPairs = r.pairSlice()
+		p1.Excluded = r.pairSlice()
+		if n := r.count(8); n >= 0 && r.err == nil {
+			p1.Unstable = make([]float64, n)
+			for i := range p1.Unstable {
+				p1.Unstable[i] = r.f64()
+			}
+		}
+		sr.Phase1 = p1
+	}
+
+	// A pair is at minimum a presence byte; deeper counts are checked
+	// against the remaining bytes as they stream past.
+	if n := r.count(1); n >= 0 && r.err == nil {
+		sr.Pairs = make([]*storedPair, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			if r.u8() == 0 {
+				sr.Pairs = append(sr.Pairs, nil)
+				continue
+			}
+			sp := &storedPair{Pair: r.pairValue()}
+			if mn := r.count(72); mn >= 0 && r.err == nil { // 16+8*7 per measurement
+				sp.Measurements = make([]storedMeasurement, mn)
+				for j := range sp.Measurements {
+					sp.Measurements[j] = storedMeasurement{
+						Pair:            r.pairValue(),
+						LatencyMs:       f64(r.f64()),
+						TsDevNs:         r.i64(),
+						TeDevNs:         r.i64(),
+						SM:              int(r.i64()),
+						TransitionIndex: int(r.i64()),
+						InjectedMs:      f64(r.f64()),
+						SyncSpreadNs:    r.i64(),
+					}
+				}
+			}
+			sp.Samples = r.f64Slice()
+			sp.Injected = r.f64Slice()
+			sp.Attempts = int(r.i64())
+			sp.Failures = int(r.i64())
+			sp.DiscardedByThrottle = int(r.i64())
+			sp.ThrottleEvents = int(r.i64())
+			sp.Skipped = r.u8() != 0
+			sp.SkipReason = r.str()
+			sp.Kept = r.f64Slice()
+			sp.Outliers = r.f64Slice()
+			if r.u8() != 0 {
+				sc := &storedClusters{}
+				if ln := r.count(8); ln >= 0 && r.err == nil {
+					sc.Labels = make([]int, ln)
+					for j := range sc.Labels {
+						sc.Labels[j] = int(r.i64())
+					}
+				}
+				sc.NumClusters = int(r.i64())
+				sc.Eps = f64(r.f64())
+				sc.MinPts = int(r.i64())
+				sp.Clusters = sc
+			}
+			sp.Summary = storedSummary{
+				N: int(r.i64()), Mean: f64(r.f64()), Std: f64(r.f64()), Min: f64(r.f64()),
+				Q05: f64(r.f64()), Q25: f64(r.f64()), Median: f64(r.f64()),
+				Q75: f64(r.f64()), Q95: f64(r.f64()), Max: f64(r.f64()),
+			}
+			sp.FinalRSE = f64(r.f64())
+			sr.Pairs = append(sr.Pairs, sp)
+		}
+	}
+
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, 0, fmt.Errorf("%d trailing bytes after body", len(r.b)-r.off)
+	}
+	return b, rawBytes, nil
+}
+
+// inflateV3 inflates the gzip stream after the magic into the pooled
+// scratch buffer under the same rails as v2: single member, bounded
+// inflation, no trailing bytes. The returned buffer must be released
+// with putDecodeBuf once the parse has copied everything it keeps.
+func inflateV3(data []byte) (*bytes.Buffer, error) {
+	r := bytes.NewReader(data[len(v3Magic):])
+	gz := gzipReaders.Get().(*gzip.Reader)
+	if err := gz.Reset(r); err != nil {
+		gzipReaders.Put(gz)
+		return nil, err
+	}
+	gz.Multistream(false)
+	buf := decodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, rerr := buf.ReadFrom(io.LimitReader(gz, maxCanonicalBytes+1))
+	gz.Close()
+	gzipReaders.Put(gz)
+	if rerr != nil {
+		putDecodeBuf(buf)
+		return nil, rerr
+	}
+	if int64(buf.Len()) > maxCanonicalBytes {
+		putDecodeBuf(buf)
+		return nil, fmt.Errorf("body inflates past %d bytes", maxCanonicalBytes)
+	}
+	if r.Len() != 0 {
+		putDecodeBuf(buf)
+		return nil, fmt.Errorf("%d trailing bytes after container", r.Len())
+	}
+	return buf, nil
+}

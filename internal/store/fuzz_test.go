@@ -10,11 +10,12 @@ import (
 
 // FuzzDecodeBlob throws arbitrary bytes at the full blob-validation
 // path — container sniffing, inflation under the canonical-size rail,
-// JSON decode, digest/schema checks. The invariant is the store's
-// corrupt-blob promise: any input either validates to a non-nil result
-// or returns an error; it never panics and a compressed container
-// never inflates past maxCanonicalBytes (a bomb is an invalid blob,
-// not an allocation storm).
+// the bounds-checked v3 binary walk, JSON decode, digest/schema
+// checks. The invariant is the store's corrupt-blob promise: any input
+// either validates to a non-nil result or returns an error; it never
+// panics and a compressed container never inflates past
+// maxCanonicalBytes (a bomb is an invalid blob, not an allocation
+// storm).
 func FuzzDecodeBlob(f *testing.F) {
 	k := mustKey(f, 0, 42)
 	plain, err := EncodeBlob(k, testResult())
@@ -25,30 +26,70 @@ func FuzzDecodeBlob(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	v3, err := EncodeBlobV3(k, testResult())
+	if err != nil {
+		f.Fatal(err)
+	}
 
 	f.Add(plain)
 	f.Add(comp)
-	// Truncations tear the container at both layers: mid-JSON for v1,
-	// mid-deflate-stream and mid-gzip-footer for v2.
+	f.Add(v3)
+	// Truncations tear the container at every layer: mid-JSON for v1,
+	// mid-deflate-stream and mid-gzip-footer for v2/v3, and — for v3 —
+	// mid-length-prefix and mid-section inside the inflated binary body.
 	f.Add(plain[:len(plain)/2])
-	f.Add(comp[:len(comp)/2])
-	f.Add(comp[:len(comp)-4]) // gzip CRC/ISIZE footer torn off
-	// Bit flips corrupt without truncating.
-	for _, src := range [][]byte{plain, comp} {
+	for _, src := range [][]byte{comp, v3} {
+		f.Add(src[:len(src)/2])
+		f.Add(src[:len(src)-4]) // gzip CRC/ISIZE footer torn off
+	}
+	// Bit flips corrupt without truncating — on v3 they land in the
+	// deflate stream (CRC catch) or the magic (container misdetect).
+	for _, src := range [][]byte{plain, comp, v3} {
 		flipped := bytes.Clone(src)
 		flipped[len(flipped)/3] ^= 0x40
 		f.Add(flipped)
 	}
-	// A high-ratio member: 64 KiB of padding compresses to ~100 bytes,
-	// steering the fuzzer toward the inflation rail.
-	bomb, err := compressBlobBytes(bytes.Repeat([]byte{' '}, 64<<10))
+	// Torn and misaligned v3 bodies behind an intact gzip layer: the
+	// deflate CRC passes, so every cut lands on the binary reader's
+	// bounds checks — truncated length prefixes, section counts pointing
+	// past the end, and a trailing-garbage tail. reV3 rebuilds a valid
+	// container around a mutated body so only the body is hostile.
+	body, err := inflateV3(v3)
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(bomb)
+	reV3 := func(b []byte) []byte {
+		deflated, err := compressBlobBytes(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append(append([]byte(nil), v3Magic[:]...), deflated...)
+	}
+	raw := bytes.Clone(body.Bytes())
+	putDecodeBuf(body)
+	for _, cut := range []int{1, 3, 7, len(raw) / 2, len(raw) - 1} {
+		if cut < len(raw) {
+			f.Add(reV3(raw[:cut]))
+		}
+	}
+	f.Add(reV3(append(bytes.Clone(raw), 0xEE))) // trailing body byte
+	counts := bytes.Clone(raw)
+	counts[len(counts)/2] ^= 0xFF // likely lands in a count or length
+	f.Add(reV3(counts))
+	// A high-ratio member: 64 KiB of padding compresses to ~100 bytes,
+	// steering the fuzzer toward the inflation rail in both compressed
+	// containers.
+	bombBody, err := compressBlobBytes(bytes.Repeat([]byte{' '}, 64<<10))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bombBody)
+	f.Add(append(append([]byte(nil), v3Magic[:]...), bombBody...))
 	f.Add([]byte(`{}`))
 	f.Add([]byte{})
 	f.Add([]byte{0x1f, 0x8b}) // bare gzip magic, no stream
+	f.Add(v3Magic[:])         // bare v3 magic, no stream
+	f.Add(v3[:4+2])           // v3 magic + torn gzip header
 
 	digest := k.Digest
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -56,13 +97,24 @@ func FuzzDecodeBlob(f *testing.F) {
 		if err == nil && res == nil {
 			t.Fatal("ValidateBlob returned nil result with nil error")
 		}
+		// The proof-carrying constructor shares the parse; it must agree
+		// with ValidateBlob on validity and never hand out a nil result.
+		vb, vbErr := ValidateBlobBytes(data, digest)
+		if (vbErr == nil) != (err == nil) {
+			t.Fatalf("ValidateBlobBytes err=%v disagrees with ValidateBlob err=%v", vbErr, err)
+		}
+		if vbErr == nil && vb.Result() == nil {
+			t.Fatal("ValidateBlobBytes returned nil result with nil error")
+		}
 		// The digest-mismatch path must be just as total.
 		if res, err := ValidateBlob(data, "deadbeef"); err == nil && res == nil {
 			t.Fatal("digest-mismatch ValidateBlob: nil result with nil error")
 		}
-		// WriteCanonical shares the sniff/inflate machinery; it must be
-		// equally crash-free on hostile input (errors are fine).
+		// The canonical re-render paths share the sniff/inflate/walk
+		// machinery; they must be equally crash-free on hostile input
+		// (errors are fine).
 		_ = WriteCanonical(io.Discard, data)
+		_ = WriteCanonicalCompressed(io.Discard, data)
 	})
 }
 

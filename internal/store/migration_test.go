@@ -18,8 +18,26 @@ func writeV1Blob(t *testing.T, dir string, k Key) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if IsGzipBlob(data) {
+	if ContainerOf(data) != ContainerV1 {
 		t.Fatal("EncodeBlob no longer produces the plain container; the fixture is wrong")
+	}
+	if err := os.WriteFile(filepath.Join(dir, k.blobName()), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// writeV2Blob plants a legacy v2 (gzip JSON) blob file — what a store
+// directory written between the compression and binary-codec releases
+// holds.
+func writeV2Blob(t *testing.T, dir string, k Key) []byte {
+	t.Helper()
+	data, err := EncodeBlobCompressed(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ContainerOf(data) != ContainerV2 {
+		t.Fatal("EncodeBlobCompressed no longer produces the gzip container; the fixture is wrong")
 	}
 	if err := os.WriteFile(filepath.Join(dir, k.blobName()), data, 0o644); err != nil {
 		t.Fatal(err)
@@ -36,118 +54,172 @@ func readBlobFile(t *testing.T, dir string, k Key) []byte {
 	return data
 }
 
-// TestV1BlobServesAndHealsToV2 is the transparent-migration contract: a
-// store seeded with v1 JSON blobs serves correct results immediately (a
-// hit, not a recompute), re-writes each blob in the v2 compressed
-// container on that first read, and keeps serving the identical result
-// afterwards — including through a fresh handle that never saw v1.
-func TestV1BlobServesAndHealsToV2(t *testing.T) {
-	dir := t.TempDir()
-	s, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
+// TestLegacyBlobHealsToV3 is the transparent-migration contract, one
+// generation on: a store seeded with v1 or v2 blobs serves correct
+// results immediately (a hit, not a recompute), re-writes each blob in
+// the v3 binary container on that first read, and keeps serving the
+// identical result afterwards — including through a fresh handle that
+// never saw the legacy container.
+func TestLegacyBlobHealsToV3(t *testing.T) {
+	plants := map[string]func(*testing.T, string, Key) []byte{
+		"v1": writeV1Blob,
+		"v2": writeV2Blob,
 	}
-	k := mustKey(t, 0, 42)
-	writeV1Blob(t, dir, k)
-
-	res, ok := s.Get(k)
-	if !ok {
-		t.Fatal("v1 blob missed")
-	}
-	if !math.IsNaN(res.Pairs[0].Measurements[0].InjectedMs) || res.DeviceName != "A100-SXM4[0]" {
-		t.Fatalf("v1 blob decoded wrong: %+v", res)
-	}
-	if c := s.Counters(); c.Hits != 1 || c.Misses != 0 || c.Corrupt != 0 {
-		t.Fatalf("a v1 read must be a clean hit: %+v", c)
-	}
-
-	healed := readBlobFile(t, dir, k)
-	if !IsGzipBlob(healed) {
-		t.Fatal("v1 blob not re-written as the v2 container on first read")
-	}
-
-	// The healed index entry carries both sizes.
-	var found bool
-	for _, e := range s.Index() {
-		if e.Digest == k.Digest {
-			found = true
-			if e.Bytes != int64(len(healed)) || e.RawBytes <= e.Bytes {
-				t.Fatalf("healed entry sizes wrong: %+v (blob is %d bytes)", e, len(healed))
+	for name, plant := range plants {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-	}
-	if !found {
-		t.Fatal("healed blob not indexed")
-	}
+			k := mustKey(t, 0, 42)
+			plant(t, dir, k)
 
-	// The heal's sizes are durable, not just this handle's view: a
-	// fresh handle's index (journal + snapshot replay, before any Get
-	// re-touches) must carry the compressed Bytes and the RawBytes the
-	// heal recorded — stale v1 sizes here would skew watermark GC and
-	// the stats compression ratio until every blob was re-read.
-	s2, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if e := s2.Index()[0]; e.Bytes != int64(len(healed)) || e.RawBytes <= e.Bytes {
-		t.Fatalf("healed sizes not durable across reopen: %+v (blob is %d bytes)", e, len(healed))
-	}
-	res2, ok := s2.Get(k)
-	if !ok {
-		t.Fatal("healed blob missed on reopen")
-	}
-	enc1, err := EncodeBlob(k, res)
-	if err != nil {
-		t.Fatal(err)
-	}
-	enc2, err := EncodeBlob(k, res2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(enc1, enc2) {
-		t.Fatal("v1 and healed-v2 reads decode to different results")
+			res, ok := s.Get(k)
+			if !ok {
+				t.Fatalf("%s blob missed", name)
+			}
+			if !math.IsNaN(res.Pairs[0].Measurements[0].InjectedMs) || res.DeviceName != "A100-SXM4[0]" {
+				t.Fatalf("%s blob decoded wrong: %+v", name, res)
+			}
+			if c := s.Counters(); c.Hits != 1 || c.Misses != 0 || c.Corrupt != 0 {
+				t.Fatalf("a legacy read must be a clean hit: %+v", c)
+			}
+
+			healed := readBlobFile(t, dir, k)
+			if ContainerOf(healed) != ContainerV3 {
+				t.Fatalf("%s blob not re-written as the v3 container on first read", name)
+			}
+
+			// The healed index entry carries both sizes.
+			var found bool
+			for _, e := range s.Index() {
+				if e.Digest == k.Digest {
+					found = true
+					if e.Bytes != int64(len(healed)) || e.RawBytes <= e.Bytes {
+						t.Fatalf("healed entry sizes wrong: %+v (blob is %d bytes)", e, len(healed))
+					}
+				}
+			}
+			if !found {
+				t.Fatal("healed blob not indexed")
+			}
+
+			// The heal's sizes are durable, not just this handle's view: a
+			// fresh handle's index (journal + snapshot replay, before any
+			// Get re-touches) must carry the container Bytes and the
+			// RawBytes the heal recorded — stale legacy sizes here would
+			// skew watermark GC and the stats compression ratio until every
+			// blob was re-read.
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := s2.Index()[0]; e.Bytes != int64(len(healed)) || e.RawBytes <= e.Bytes {
+				t.Fatalf("healed sizes not durable across reopen: %+v (blob is %d bytes)", e, len(healed))
+			}
+			res2, ok := s2.Get(k)
+			if !ok {
+				t.Fatal("healed blob missed on reopen")
+			}
+			enc1, err := EncodeBlob(k, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2, err := EncodeBlob(k, res2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatal("legacy and healed-v3 reads decode to different results")
+			}
+		})
 	}
 }
 
-// TestGetRawServesV1AsV2: the network read path ships the compact
-// container even when the disk blob is still v1 — and heals the disk on
-// the way.
-func TestGetRawServesV1AsV2(t *testing.T) {
-	dir := t.TempDir()
-	s, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestHealConvergence: healing is byte-deterministic. A v1 blob healed
+// on read, a v2 blob healed on read, and a fresh Put of the same
+// result must all land the identical v3 container on disk — which is
+// what lets remote tiers compare blobs by bytes instead of re-decoding.
+func TestHealConvergence(t *testing.T) {
 	k := mustKey(t, 0, 42)
-	writeV1Blob(t, dir, k)
 
-	data, ok := s.GetRaw(k.Digest)
-	if !ok {
-		t.Fatal("v1 blob missed through GetRaw")
+	blobFor := func(plant func(*testing.T, string, Key) []byte) []byte {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plant != nil {
+			plant(t, dir, k)
+		} else if err := s.Put(k, testResult()); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k); !ok {
+			t.Fatal("blob missed")
+		}
+		return readBlobFile(t, dir, k)
 	}
-	if !IsGzipBlob(data) {
-		t.Fatal("GetRaw served the uncompressed container")
+
+	fresh := blobFor(nil)
+	fromV1 := blobFor(writeV1Blob)
+	fromV2 := blobFor(writeV2Blob)
+	if !bytes.Equal(fresh, fromV1) {
+		t.Fatal("heal(v1) diverges from a fresh Put")
 	}
-	if _, err := ValidateBlob(data, k.Digest); err != nil {
-		t.Fatalf("served container does not validate: %v", err)
-	}
-	if !bytes.Equal(data, readBlobFile(t, dir, k)) {
-		t.Fatal("served bytes differ from the healed disk blob")
+	if !bytes.Equal(fresh, fromV2) {
+		t.Fatal("heal(v2) diverges from a fresh Put")
 	}
 }
 
-// TestMixedStoreRebuild: a directory holding both containers rebuilds a
-// complete index from a lost manifest — v1 blobs are first-class
-// citizens of the scan until their lazy migration.
+// TestGetRawServesLegacyAsV3: the network read path ships the compact
+// container even when the disk blob is still legacy — and heals the
+// disk on the way.
+func TestGetRawServesLegacyAsV3(t *testing.T) {
+	plants := map[string]func(*testing.T, string, Key) []byte{
+		"v1": writeV1Blob,
+		"v2": writeV2Blob,
+	}
+	for name, plant := range plants {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := mustKey(t, 0, 42)
+			plant(t, dir, k)
+
+			data, ok := s.GetRaw(k.Digest)
+			if !ok {
+				t.Fatalf("%s blob missed through GetRaw", name)
+			}
+			if ContainerOf(data) != ContainerV3 {
+				t.Fatalf("GetRaw served the %s container", ContainerOf(data))
+			}
+			if _, err := ValidateBlob(data, k.Digest); err != nil {
+				t.Fatalf("served container does not validate: %v", err)
+			}
+			if !bytes.Equal(data, readBlobFile(t, dir, k)) {
+				t.Fatal("served bytes differ from the healed disk blob")
+			}
+		})
+	}
+}
+
+// TestMixedStoreRebuild: a directory holding all three containers
+// rebuilds a complete index from a lost manifest — legacy blobs are
+// first-class citizens of the scan until their lazy migration.
 func TestMixedStoreRebuild(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kOld, kNew := mustKey(t, 0, 42), mustKey(t, 1, 43)
-	writeV1Blob(t, dir, kOld)
-	if err := s.Put(kNew, testResult()); err != nil {
+	kV1, kV2, kV3 := mustKey(t, 0, 42), mustKey(t, 1, 43), mustKey(t, 2, 44)
+	writeV1Blob(t, dir, kV1)
+	writeV2Blob(t, dir, kV2)
+	if err := s.Put(kV3, testResult()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -160,23 +232,23 @@ func TestMixedStoreRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2.Len() != 2 {
-		t.Fatalf("rebuilt Len = %d, want both containers indexed", s2.Len())
+	if s2.Len() != 3 {
+		t.Fatalf("rebuilt Len = %d, want all three containers indexed", s2.Len())
 	}
-	for _, k := range []Key{kOld, kNew} {
+	for _, k := range []Key{kV1, kV2, kV3} {
 		if _, ok := s2.Get(k); !ok {
 			t.Fatalf("rebuilt store misses %s", k)
 		}
 	}
 }
 
-// TestCorruptV2BlobIsMissAndHeals extends the injected-corruption
-// regression to the compressed container: a v2 blob whose gzip stream
-// is truncated, bit-flipped, or replaced with garbage behind a valid
-// magic must read as a miss that deletes the blob and tombstones its
-// entry, after which recompute-and-Put heals it — never an error,
+// TestCorruptBlobIsMissAndHeals extends the injected-corruption
+// regression to the compressed containers: a v2 or v3 blob whose
+// stream is truncated, bit-flipped, or replaced with garbage behind a
+// valid magic must read as a miss that deletes the blob and tombstones
+// its entry, after which recompute-and-Put heals it — never an error,
 // never a wrong result.
-func TestCorruptV2BlobIsMissAndHeals(t *testing.T) {
+func TestCorruptBlobIsMissAndHeals(t *testing.T) {
 	corruptions := map[string]func([]byte) []byte{
 		"truncated-stream": func(b []byte) []byte { return b[:len(b)/2] },
 		"missing-footer":   func(b []byte) []byte { return b[:len(b)-4] },
@@ -185,60 +257,80 @@ func TestCorruptV2BlobIsMissAndHeals(t *testing.T) {
 			c[len(c)/2] ^= 0x40
 			return c
 		},
-		"garbage-after-magic": func([]byte) []byte {
+		"garbage-after-gzip-magic": func([]byte) []byte {
 			return []byte{gzipMagic0, gzipMagic1, 'n', 'o', 't', 'g', 'z'}
 		},
+		"garbage-after-v3-magic": func([]byte) []byte {
+			return append(append([]byte(nil), v3Magic[:]...), 'n', 'o', 't', 'g', 'z')
+		},
 	}
-	for name, corrupt := range corruptions {
-		t.Run(name, func(t *testing.T) {
-			dir := t.TempDir()
-			s, err := Open(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			k := mustKey(t, 0, 42)
-			if err := s.Put(k, testResult()); err != nil {
-				t.Fatal(err)
-			}
-			blob := filepath.Join(dir, k.blobName())
-			good, err := os.ReadFile(blob)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !IsGzipBlob(good) {
-				t.Fatal("Put did not write the v2 container")
-			}
-			if err := os.WriteFile(blob, corrupt(good), 0o644); err != nil {
-				t.Fatal(err)
-			}
-
-			if _, ok := s.Get(k); ok {
-				t.Fatal("corrupt v2 blob served as a hit")
-			}
-			if _, err := os.Stat(blob); !os.IsNotExist(err) {
-				t.Fatal("corrupt blob left on disk")
-			}
-			if s.Len() != 0 {
-				t.Fatalf("index still reports the unreadable key: Len=%d", s.Len())
-			}
-			if c := s.Counters(); c.Corrupt != 1 || c.Misses != 1 {
-				t.Fatalf("counters = %+v, want the corruption counted as one miss", c)
-			}
-
-			// Recompute-and-heal: the next Put/Get cycle is clean.
-			if err := s.Put(k, testResult()); err != nil {
-				t.Fatal(err)
-			}
+	plants := map[string]func(t *testing.T, s *Store, dir string, k Key){
+		"v2": func(t *testing.T, s *Store, dir string, k Key) {
+			writeV2Blob(t, dir, k)
+			// Index it so corruption has an entry to tombstone.
 			if _, ok := s.Get(k); !ok {
-				t.Fatal("healed blob missed")
+				t.Fatal("planted v2 blob missed")
 			}
-		})
+			// The read healed it to v3; re-plant v2 over the healed blob so
+			// the corruption below lands on a v2 container.
+			writeV2Blob(t, dir, k)
+		},
+		"v3": func(t *testing.T, s *Store, dir string, k Key) {
+			if err := s.Put(k, testResult()); err != nil {
+				t.Fatal(err)
+			}
+			if data := readBlobFile(t, dir, k); ContainerOf(data) != ContainerV3 {
+				t.Fatal("Put did not write the v3 container")
+			}
+		},
+	}
+	for plantName, plant := range plants {
+		for name, corrupt := range corruptions {
+			t.Run(plantName+"/"+name, func(t *testing.T) {
+				dir := t.TempDir()
+				s, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := mustKey(t, 0, 42)
+				plant(t, s, dir, k)
+				blob := filepath.Join(dir, k.blobName())
+				good, err := os.ReadFile(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(blob, corrupt(good), 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				if _, ok := s.Get(k); ok {
+					t.Fatal("corrupt blob served as a hit")
+				}
+				if _, err := os.Stat(blob); !os.IsNotExist(err) {
+					t.Fatal("corrupt blob left on disk")
+				}
+				if s.Len() != 0 {
+					t.Fatalf("index still reports the unreadable key: Len=%d", s.Len())
+				}
+				if c := s.Counters(); c.Corrupt != 1 || c.Misses != 1 {
+					t.Fatalf("counters = %+v, want the corruption counted as one miss", c)
+				}
+
+				// Recompute-and-heal: the next Put/Get cycle is clean.
+				if err := s.Put(k, testResult()); err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := s.Get(k); !ok {
+					t.Fatal("healed blob missed")
+				}
+			})
+		}
 	}
 }
 
-// TestBlobCompressionRatioSynthetic: the container must earn its keep
-// even on a small synthetic result — real quick-scale campaign blobs
-// (asserted in the root-level TestBlobCompressionRatio) compress
+// TestBlobCompressionRatioSynthetic: the containers must earn their
+// keep even on a small synthetic result — real quick-scale campaign
+// blobs (asserted in the root-level TestBlobCompressionRatio) compress
 // better still.
 func TestBlobCompressionRatioSynthetic(t *testing.T) {
 	k := mustKey(t, 0, 42)
@@ -250,31 +342,51 @@ func TestBlobCompressionRatioSynthetic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	v3, err := EncodeBlobV3(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratio := float64(len(plain)) / float64(len(comp))
-	t.Logf("synthetic blob: %d -> %d bytes (%.2fx)", len(plain), len(comp), ratio)
+	ratioV3 := float64(len(plain)) / float64(len(v3))
+	t.Logf("synthetic blob: %d -> %d (v2, %.2fx) / %d (v3, %.2fx) bytes",
+		len(plain), len(comp), ratio, len(v3), ratioV3)
 	if ratio < 1.5 {
-		t.Fatalf("compression ratio %.2f on the synthetic blob; the container is not paying for itself", ratio)
+		t.Fatalf("v2 compression ratio %.2f on the synthetic blob; the container is not paying for itself", ratio)
+	}
+	if ratioV3 < 1.5 {
+		t.Fatalf("v3 compression ratio %.2f on the synthetic blob; the container is not paying for itself", ratioV3)
 	}
 }
 
 // TestBlobInflationBound: a compressed container that inflates past the
 // canonical-size rail is an invalid blob (a gzip bomb turned miss), not
-// an allocation storm.
+// an allocation storm — in the v2 container and the v3 container alike.
 func TestBlobInflationBound(t *testing.T) {
 	old := maxCanonicalBytes
 	maxCanonicalBytes = 1 << 10
 	defer func() { maxCanonicalBytes = old }()
 
-	bomb, err := compressBlobBytes(bytes.Repeat([]byte{' '}, 64<<10))
+	padding := bytes.Repeat([]byte{' '}, 64<<10)
+	bomb, err := compressBlobBytes(padding)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, _, _, err = parseBlob(bomb, "deadbeef")
 	if err == nil || !errors.Is(err, ErrInvalidBlob) {
-		t.Fatalf("oversized inflate err = %v, want ErrInvalidBlob", err)
+		t.Fatalf("oversized v2 inflate err = %v, want ErrInvalidBlob", err)
 	}
 
-	// A legitimate blob under the rail still parses.
+	v3bomb, err := compressBlobBytes(padding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3bomb = append(append([]byte(nil), v3Magic[:]...), v3bomb...)
+	_, _, _, err = parseBlob(v3bomb, "deadbeef")
+	if err == nil || !errors.Is(err, ErrInvalidBlob) {
+		t.Fatalf("oversized v3 inflate err = %v, want ErrInvalidBlob", err)
+	}
+
+	// A legitimate blob under the rail still parses, in both containers.
 	maxCanonicalBytes = old
 	k := mustKey(t, 0, 42)
 	good, err := EncodeBlobCompressed(k, testResult())
@@ -284,15 +396,27 @@ func TestBlobInflationBound(t *testing.T) {
 	if _, _, _, err := parseBlob(good, k.Digest); err != nil {
 		t.Fatal(err)
 	}
+	goodV3, err := EncodeBlobV3(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := parseBlob(goodV3, k.Digest); err != nil {
+		t.Fatal(err)
+	}
 }
 
-// TestRejectsMultiMemberContainer: a v2 container must be exactly one
-// gzip member — concatenated members (which multistream gzip readers
-// transparently append) would let arbitrary padding hide behind a
-// valid digest and break the container's byte determinism.
+// TestRejectsMultiMemberContainer: a compressed container must be
+// exactly one gzip member — concatenated members (which multistream
+// gzip readers transparently append) and raw trailing garbage would
+// let arbitrary padding hide behind a valid digest and break the
+// container's byte determinism. Both the v2 and v3 containers refuse.
 func TestRejectsMultiMemberContainer(t *testing.T) {
 	k := mustKey(t, 0, 42)
 	good, err := EncodeBlobCompressed(k, testResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodV3, err := EncodeBlobV3(k, testResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,18 +424,20 @@ func TestRejectsMultiMemberContainer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	concat := append(append([]byte(nil), good...), pad...)
-	if _, err := ValidateBlob(concat, k.Digest); err == nil || !errors.Is(err, ErrInvalidBlob) {
-		t.Fatalf("multi-member container err = %v, want ErrInvalidBlob", err)
-	}
-	// Raw trailing garbage after the member is rejected the same way.
-	trailing := append(append([]byte(nil), good...), "junk"...)
-	if _, err := ValidateBlob(trailing, k.Digest); err == nil || !errors.Is(err, ErrInvalidBlob) {
-		t.Fatalf("trailing-bytes container err = %v, want ErrInvalidBlob", err)
-	}
-	// And the pristine container still validates after those rejections
-	// (the pooled reader state is clean).
-	if _, err := ValidateBlob(good, k.Digest); err != nil {
-		t.Fatal(err)
+	for name, blob := range map[string][]byte{"v2": good, "v3": goodV3} {
+		concat := append(append([]byte(nil), blob...), pad...)
+		if _, err := ValidateBlob(concat, k.Digest); err == nil || !errors.Is(err, ErrInvalidBlob) {
+			t.Fatalf("%s multi-member container err = %v, want ErrInvalidBlob", name, err)
+		}
+		// Raw trailing garbage after the member is rejected the same way.
+		trailing := append(append([]byte(nil), blob...), "junk"...)
+		if _, err := ValidateBlob(trailing, k.Digest); err == nil || !errors.Is(err, ErrInvalidBlob) {
+			t.Fatalf("%s trailing-bytes container err = %v, want ErrInvalidBlob", name, err)
+		}
+		// And the pristine container still validates after those
+		// rejections (the pooled reader state is clean).
+		if _, err := ValidateBlob(blob, k.Digest); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

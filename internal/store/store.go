@@ -1,6 +1,7 @@
 // Package store persists campaign results as content-addressed,
-// versioned blobs — canonical JSON envelopes inside a compressed (v2)
-// container — so that repeated and incremental sweeps are near-free: a
+// versioned blobs — a canonical JSON envelope contract carried in a
+// compact binary v3 container — so that repeated and incremental
+// sweeps are near-free: a
 // campaign whose inputs have not changed is read back from disk
 // instead of being re-simulated, at a fraction of its JSON size.
 //
@@ -33,10 +34,10 @@
 // stream, carries the wrong schema version, or does not match its
 // digest is treated as a miss — the stale blob is deleted and its
 // index entry tombstoned on the spot, and the campaign is recomputed
-// and rewritten — never as an error. Legacy v1 (uncompressed) blobs
-// remain readable and are transparently re-written in the v2 container
-// the first time they are read; see codec.go for the container
-// contract.
+// and rewritten — never as an error. Legacy v1 (uncompressed) and v2
+// (gzip JSON) blobs remain readable and are transparently re-written
+// in the v3 container the first time they are read; see codec.go and
+// codecv3.go for the container contract.
 //
 // # Coordination
 //
@@ -267,15 +268,16 @@ func (s *Store) Has(k Key) bool {
 // the stale blob is deleted and its index entry tombstoned immediately
 // (so Index and Len never report a key that cannot be read), and the
 // caller recomputes and Puts. A hit advances the entry's LRU clock for
-// GC. A hit on a legacy v1 (uncompressed) blob additionally heals it
-// to the v2 container on the spot, so one warm pass migrates a store.
+// GC. A hit on a legacy v1 (plain JSON) or v2 (gzip JSON) blob
+// additionally heals it to the v3 container on the spot, so one warm
+// pass migrates a store.
 func (s *Store) Get(k Key) (*core.Result, bool) {
 	data, err := os.ReadFile(filepath.Join(s.dir, k.blobName()))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
 	}
-	b, rawN, compressed, err := parseBlob(data, k.Digest)
+	b, rawN, cont, err := parseBlob(data, k.Digest)
 	if err != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
@@ -284,8 +286,8 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 	}
 	res := decodeResult(b.Result)
 	size := int64(len(data))
-	if !compressed {
-		if _, n, healed := s.healV1(k.blobName(), data); healed {
+	if cont != ContainerV3 {
+		if _, n, healed := s.healLegacy(k, res); healed {
 			size = n
 		}
 	}
@@ -294,21 +296,23 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 	return res, true
 }
 
-// healV1 re-writes a validated v1 (uncompressed) blob in the v2
-// container — the transparent migration path. Best-effort: a store
-// that cannot be written (read-only snapshot, full disk) keeps serving
-// the v1 bytes, and the next read retries. Concurrent healers write
-// identical bytes (fixed gzip level over identical input), so the
-// rename race is benign.
-func (s *Store) healV1(name string, data []byte) (compressedBytes []byte, size int64, ok bool) {
-	comp, err := compressBlobBytes(data)
+// healLegacy re-writes a validated legacy (v1 or v2) blob in the v3
+// container, re-encoded from the result the validating parse already
+// decoded — the transparent migration path, and never a second parse.
+// Best-effort: a store that cannot be written (read-only snapshot,
+// full disk) keeps serving the legacy bytes, and the next read
+// retries. Concurrent healers and fresh Puts of the same key write
+// identical bytes (deterministic v3 encoding), so the rename race is
+// benign.
+func (s *Store) healLegacy(k Key, res *core.Result) (v3Bytes []byte, size int64, ok bool) {
+	data, err := EncodeBlobV3(k, res)
 	if err != nil {
 		return nil, 0, false
 	}
-	if err := s.writeAtomic(name, comp); err != nil {
-		return comp, 0, false
+	if err := s.writeAtomic(k.blobName(), data); err != nil {
+		return data, 0, false
 	}
-	return comp, int64(len(comp)), true
+	return data, int64(len(data)), true
 }
 
 // reservedDigest reports a digest whose blob filename would collide
@@ -318,79 +322,40 @@ func (s *Store) healV1(name string, data []byte) (compressedBytes []byte, size i
 func reservedDigest(digest string) bool { return digest+".json" == manifestName }
 
 // GetRaw returns the validated raw container bytes of the blob stored
-// under digest — the network daemon's read path: a v2 blob is shipped
+// under digest — the network daemon's read path: a v3 blob is shipped
 // verbatim (no decompress/recompress, no decode/re-encode round trip
 // on the wire), while the validation, traffic counters, LRU touch, and
-// corrupt-blob healing all match Get. A legacy v1 blob is healed to v2
-// first and the compressed bytes served, so the wire carries the
-// compact container either way. The touch indexes under the
-// profile/instance recorded in the blob envelope, so a served blob is
-// fully described in the index even when this handle never saw its Put.
+// corrupt-blob healing all match Get. A legacy v1/v2 blob is healed to
+// v3 first and the v3 bytes served, so the wire carries the compact
+// container either way. The touch indexes under the profile/instance
+// recorded in the blob envelope, so a served blob is fully described
+// in the index even when this handle never saw its Put. Callers that
+// also want the decoded result or the envelope identity should use
+// GetValidated, which this wraps.
 func (s *Store) GetRaw(digest string) ([]byte, bool) {
-	if reservedDigest(digest) {
-		// A plain miss, pointedly without healing: the "corrupt blob"
-		// a reserved digest resolves to is the index snapshot itself.
-		s.misses.Add(1)
+	vb, ok := s.GetValidated(digest)
+	if !ok {
 		return nil, false
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, digest+".json"))
-	if err != nil {
-		s.misses.Add(1)
-		return nil, false
-	}
-	b, rawN, compressed, err := parseBlob(data, digest)
-	if err != nil {
-		s.corrupt.Add(1)
-		s.misses.Add(1)
-		s.healCorrupt(Key{Digest: digest})
-		return nil, false
-	}
-	diskSize := int64(len(data))
-	if !compressed {
-		// Serve the compact container even when the disk heal failed —
-		// the compressed bytes in hand are valid either way. The index
-		// records what is actually on disk, so a failed heal keeps the
-		// v1 size (watermark GC must not undercount a store it cannot
-		// shrink).
-		if comp, healedSize, healed := s.healV1(digest+".json", data); comp != nil {
-			data = comp
-			if healed {
-				diskSize = healedSize
-			}
-		}
-	}
-	s.hits.Add(1)
-	s.touch(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, diskSize, rawN)
-	return data, true
+	return vb.Bytes(), true
 }
 
 // PutRaw stores pre-encoded blob container bytes under digest — the
-// network daemon's write path, and the client's local-cache heal. The
-// bytes are validated first (container sniff, envelope parse, gzip
-// integrity, schema, digest match; failures wrap ErrInvalidBlob), so a
-// caller can never plant a blob Get would reject, then written with
-// the same atomic rename and O(1) journal append as Put. v2 bytes land
-// verbatim — the raw passthrough that makes a remote Put → remote Get
-// cycle copy the compressed stream end to end — while v1 bytes from
-// legacy writers are wrapped in the v2 container on the way down.
+// write path for callers holding bytes of unproven provenance. The
+// bytes are validated first (container sniff, envelope or binary-body
+// parse, gzip integrity, schema, digest match; failures wrap
+// ErrInvalidBlob), so a caller can never plant a blob Get would
+// reject, then handed to PutValidated: v3 bytes land verbatim — the
+// raw passthrough that makes a remote Put → remote Get cycle copy the
+// container end to end — while legacy v1/v2 bytes are re-containered
+// to v3 on the way down. Callers that already hold a ValidatedBlob
+// should call PutValidated directly and skip the re-parse.
 func (s *Store) PutRaw(digest string, data []byte) error {
-	if reservedDigest(digest) {
-		return fmt.Errorf("store: %w: digest %q names the index snapshot", ErrInvalidBlob, digest)
-	}
-	b, rawN, compressed, err := parseBlob(data, digest)
+	vb, err := ValidateBlobBytes(data, digest)
 	if err != nil {
 		return err
 	}
-	if !compressed {
-		if data, err = compressBlobBytes(data); err != nil {
-			return err
-		}
-	}
-	if err := s.writeAtomic(digest+".json", data); err != nil {
-		return err
-	}
-	s.puts.Add(1)
-	return s.recordPut(Key{Digest: digest, Profile: b.Profile, Instance: b.Instance}, int64(len(data)), rawN)
+	return s.PutValidated(vb)
 }
 
 // healCorrupt removes an unreadable blob and tombstones its index entry,
@@ -433,14 +398,14 @@ func (s *Store) touch(k Key, size, rawSize int64) {
 	s.maybeCompactLocked()
 }
 
-// Put stores the campaign under the key, atomically: the canonical
-// encoding flows through a pooled gzip writer straight into a
-// temporary file that is renamed into place, so concurrent readers see
-// either the old blob or the new one, never a torn write, and the
-// compressed bytes are never buffered in memory (the canonical buffer
-// exists once, transiently, inside the encoder — an encoding/json
-// constraint). The index update is one O(1) journal append regardless
-// of store size.
+// Put stores the campaign under the key, atomically: the v3 encoding
+// flows through pooled scratch and a pooled gzip writer straight into
+// a temporary file that is renamed into place, so concurrent readers
+// see either the old blob or the new one, never a torn write, and
+// neither the canonical bytes nor the container are ever materialised
+// in memory (the canonical form exists only as a counting render that
+// sizes RawBytes). The index update is one O(1) journal append
+// regardless of store size.
 func (s *Store) Put(k Key, res *core.Result) error {
 	if res == nil {
 		return fmt.Errorf("store: nil result for %s", k)
@@ -448,7 +413,7 @@ func (s *Store) Put(k Key, res *core.Result) error {
 	var size, rawN int64
 	err := s.writeAtomicStream(k.blobName(), func(w io.Writer) error {
 		cw := &countingWriter{w: w}
-		n, err := encodeBlobTo(cw, k, res)
+		n, err := encodeBlobV3To(cw, k, res)
 		size, rawN = cw.n, n
 		if err == nil && rawN > maxCanonicalBytes {
 			// What Put writes, Get must be able to read: past the

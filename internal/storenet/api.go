@@ -39,25 +39,28 @@
 // authed daemon only adds the standard challenge statuses.
 //
 // The blob *entity* is the canonical envelope store.EncodeBlob
-// produces; the bytes on the wire are negotiated with standard HTTP
-// content coding, mirroring the on-disk v2 container:
+// produces; the bytes on the wire are negotiated. The binary v3
+// container is not a content coding of that entity, so v3-aware
+// clients declare it with X-Blob-Accept: v3 alongside standard
+// Accept-Encoding (the server sets Vary on both):
 //
-//	client Accept-Encoding   disk blob   response body
-//	gzip (incl. Go default)  v2 (gzip)   the disk bytes verbatim, Content-Encoding: gzip
-//	identity only            v2 (gzip)   canonical JSON, inflated on the fly
-//	any                      legacy v1   canonical JSON (the store heals the blob to v2)
+//	client declares                disk blob    response body
+//	X-Blob-Accept: v3              v3           the disk bytes verbatim, application/octet-stream
+//	Accept-Encoding: gzip, no v3   v3           gzip(canonical JSON), Content-Encoding: gzip
+//	identity only                  v3           canonical JSON, rendered on the fly
+//	any                            legacy v1/v2 per the declaration above (store heals to v3)
 //
-//	PUT body                 stored as
-//	v2 container (sniffed)   verbatim — raw passthrough
-//	canonical JSON           wrapped in the v2 container
+//	PUT body                        stored as
+//	v3 container (sniffed)          verbatim — raw passthrough
+//	v2 container / canonical JSON   validated once, re-containered to v3
 //
-// Both directions sniff the gzip magic rather than trusting headers, so
-// a proxy that strips Content-Encoding cannot corrupt a transfer —
-// validation (store.ValidateBlob) accepts either container and rejects
-// everything else. Because identity remains a fully supported coding,
-// compression needed no /v1 → /v2 API bump: pre-codec clients
-// interoperate unchanged (Go's transport inflates for them
-// transparently).
+// Both directions sniff the container magic rather than trusting
+// headers, so a proxy that strips Content-Encoding cannot corrupt a
+// transfer — validation (store.ValidateBlobBytes) accepts any
+// container and rejects everything else. Because identity and gzip
+// JSON remain fully supported, neither compression nor the v3 codec
+// needed a /v1 → /v2 API bump: pre-v3 clients never send X-Blob-Accept
+// and receive the gzip-JSON or identity bytes they always did.
 //
 // A blob's content is a deterministic function of its digest (equal
 // key ⇒ equal result ⇒ equal canonical bytes), so blobs are immutable

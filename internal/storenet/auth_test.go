@@ -167,7 +167,7 @@ func TestRateLimit429(t *testing.T) {
 // body is read; an over-quota upload gets 429, a small one passes.
 func TestByteQuota429(t *testing.T) {
 	k := testKey(t, 0)
-	blob, err := store.EncodeBlobCompressed(k, testResult(0))
+	blob, err := store.EncodeBlobV3(k, testResult(0))
 	if err != nil {
 		t.Fatal(err)
 	}

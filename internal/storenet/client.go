@@ -299,11 +299,20 @@ func (c *Client) newAttempt(method, u string, body []byte, rawEncoding bool) (*h
 	}
 	if rawEncoding {
 		req.Header.Set("Accept-Encoding", "gzip")
+		// Declare the binary container: a v3-aware daemon answers with
+		// its disk bytes verbatim (no Content-Encoding), an older one
+		// ignores the header and serves the gzip view negotiated above.
+		req.Header.Set("X-Blob-Accept", "v3")
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-		if store.IsGzipBlob(body) {
+		switch store.ContainerOf(body) {
+		case store.ContainerV3:
+			req.Header.Set("Content-Type", "application/octet-stream")
+		case store.ContainerV2:
+			req.Header.Set("Content-Type", "application/json")
 			req.Header.Set("Content-Encoding", "gzip")
+		default:
+			req.Header.Set("Content-Type", "application/json")
 		}
 	}
 	return req, cancel, nil
@@ -504,13 +513,16 @@ func readBodyInto(buf *bytes.Buffer, resp *http.Response, limit int64) error {
 }
 
 // Get resolves a key: local tier first, then the daemon. The response
-// body is the compressed blob container (negotiated via
-// Accept-Encoding, served as a raw passthrough of the daemon's disk
-// bytes), read into a pooled buffer and validated by the store codec's
-// streaming decoder — the canonical JSON is never materialised. A
-// remote hit heals the local tier with the same compressed bytes,
-// verbatim; an invalid or truncated remote body is a miss (Corrupt
-// counter), exactly like a corrupt local blob.
+// body is the blob container (the v3 disk bytes verbatim from a
+// v3-aware daemon, negotiated via X-Blob-Accept; the gzip view from an
+// older one), read into a pooled buffer and validated exactly once by
+// store.ValidateBlobBytes — the canonical JSON is never materialised,
+// and the resulting ValidatedBlob carries both the decoded result and
+// the proof the bytes cleared validation. A remote hit heals the local
+// tier by handing that proof to PutValidated, which writes the wire
+// bytes to disk verbatim with no second decode; an invalid or
+// truncated remote body is a miss (Corrupt counter), exactly like a
+// corrupt local blob.
 func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	if c.cache != nil {
 		if res, ok := c.cache.Get(k); ok {
@@ -543,7 +555,7 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	res, err := store.ValidateBlob(buf.Bytes(), k.Digest)
+	vb, err := store.ValidateBlobBytes(buf.Bytes(), k.Digest)
 	if err != nil {
 		c.corrupt.Add(1)
 		c.misses.Add(1)
@@ -551,18 +563,20 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	}
 	if c.cache != nil {
 		// Best-effort heal: a full local disk must not fail a read the
-		// remote already answered.
-		_ = c.cache.PutRaw(k.Digest, buf.Bytes())
+		// remote already answered. The proof-carrying handoff writes the
+		// wire bytes verbatim — no second decode. (PutValidated persists
+		// before returning, inside the pooled buffer's lifetime.)
+		_ = c.cache.PutValidated(vb)
 	}
 	c.hits.Add(1)
-	return res, true
+	return vb.Result(), true
 }
 
-// Put encodes once — straight into the compressed container — and
+// Put encodes once — straight into the v3 binary container — and
 // writes through: daemon first (authoritative — its failure fails the
 // Put), then the local tier (best-effort, the same bytes verbatim).
-// The wire carries the compressed bytes under Content-Encoding: gzip;
-// the daemon stores them as-is after validation.
+// The wire carries the v3 bytes as application/octet-stream; the
+// daemon stores them as-is after validation.
 //
 // When the daemon is unreachable (breaker open, or the retry budget
 // exhausted on transport/5xx failures) and a local tier exists, the Put
@@ -574,7 +588,7 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 	if res == nil {
 		return fmt.Errorf("storenet: nil result for %s", k)
 	}
-	data, err := store.EncodeBlobCompressed(k, res)
+	data, err := store.EncodeBlobV3(k, res)
 	if err != nil {
 		return fmt.Errorf("storenet: encode %s: %w", k, err)
 	}
@@ -597,11 +611,11 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 		return fmt.Errorf("storenet: put %s: %s: %w", k, resp.Status, ErrAuth)
 	}
 	if resp.StatusCode == http.StatusBadRequest {
-		// A pre-codec daemon cannot parse the compressed container and
-		// answers 400; fall back to the canonical (identity) bytes once,
-		// which every daemon version accepts. A 400 for any other
-		// reason fails identically on the retry and surfaces below,
-		// naming both refusals.
+		// A pre-v3 daemon cannot parse the binary container and answers
+		// 400; fall back to the canonical (identity) bytes once, which
+		// every daemon version accepts. A 400 for any other reason fails
+		// identically on the retry and surfaces below, naming both
+		// refusals.
 		firstStatus := resp.Status
 		plain, perr := store.EncodeBlob(k, res)
 		if perr != nil {
@@ -610,15 +624,15 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 		if resp, err = c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), plain, true); err != nil {
 			if c.cache != nil && !errors.Is(err, ErrRateLimited) {
 				// The daemon vanished between the refusal and the
-				// fallback; journal the compressed container — the local
-				// tier's native format — and let Reconcile sort it out.
+				// fallback; journal the v3 container — the local tier's
+				// native format — and let Reconcile sort it out.
 				return c.deferPut(k, data, err)
 			}
 			return fmt.Errorf("storenet: put %s: %w", k, err)
 		}
 		drain(resp)
 		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("storenet: put %s: %s (compressed) then %s (identity fallback)",
+			return fmt.Errorf("storenet: put %s: %s (v3) then %s (identity fallback)",
 				k, firstStatus, resp.Status)
 		}
 	}

@@ -324,7 +324,7 @@ func TestClientInteropWithLocalHandles(t *testing.T) {
 	if !ok || res.DeviceName != "a100[0]" {
 		t.Fatalf("local handle Get = %+v ok=%v", res, ok)
 	}
-	want, err := store.EncodeBlobCompressed(k, testResult(0))
+	want, err := store.EncodeBlobV3(k, testResult(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,9 +337,9 @@ func TestClientInteropWithLocalHandles(t *testing.T) {
 	}
 }
 
-// TestClientPutFallsBackToIdentityForLegacyDaemon: a pre-codec daemon
-// rejects the compressed container as unparseable (400); the client
-// must fall back to the canonical identity bytes once, so a rolling
+// TestClientPutFallsBackToIdentityForLegacyDaemon: a pre-v3 daemon
+// rejects the binary container as unparseable (400); the client must
+// fall back to the canonical identity bytes once, so a rolling
 // upgrade that reaches workers before the store daemon keeps writing.
 func TestClientPutFallsBackToIdentityForLegacyDaemon(t *testing.T) {
 	st, err := store.Open(t.TempDir())
@@ -347,17 +347,18 @@ func TestClientPutFallsBackToIdentityForLegacyDaemon(t *testing.T) {
 		t.Fatal(err)
 	}
 	inner := NewServer(st)
-	var gzipPuts, identityPuts atomic.Int64
+	var v3Puts, identityPuts atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPut {
 			body, err := io.ReadAll(r.Body)
 			if err != nil {
 				t.Error(err)
 			}
-			if store.IsGzipBlob(body) {
-				// What a pre-codec daemon's json.Unmarshal does.
-				gzipPuts.Add(1)
-				http.Error(w, "store: blob: invalid blob: invalid character '\\x1f'",
+			if store.ContainerOf(body) != store.ContainerV1 {
+				// What an older daemon's decoder does with bytes it cannot
+				// parse as its native containers.
+				v3Puts.Add(1)
+				http.Error(w, "store: blob: invalid blob: invalid character '\\xb3'",
 					http.StatusBadRequest)
 				return
 			}
@@ -376,8 +377,8 @@ func TestClientPutFallsBackToIdentityForLegacyDaemon(t *testing.T) {
 	if err := c.Put(k, testResult(0)); err != nil {
 		t.Fatalf("Put did not fall back to identity bytes: %v", err)
 	}
-	if gzipPuts.Load() != 1 || identityPuts.Load() != 1 {
-		t.Fatalf("puts: %d gzip, %d identity; want one attempt each", gzipPuts.Load(), identityPuts.Load())
+	if v3Puts.Load() != 1 || identityPuts.Load() != 1 {
+		t.Fatalf("puts: %d v3, %d identity; want one attempt each", v3Puts.Load(), identityPuts.Load())
 	}
 	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" {
 		t.Fatalf("blob unreadable after fallback put: %+v ok=%v", res, ok)

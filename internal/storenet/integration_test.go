@@ -247,8 +247,8 @@ func TestCrossHostPlanSeesRemoteState(t *testing.T) {
 // pre-compression deployment: half the shards exist as legacy v1
 // (plain JSON) blobs. The sweep must treat them as first-class hits —
 // only the missing shards compute, each exactly once fleet-wide — the
-// v1 blobs heal to the v2 container on the way through, and both
-// hosts' artefacts stay byte-identical.
+// v1 blobs heal to the current (v3) container on the way through, and
+// both hosts' artefacts stay byte-identical.
 func TestCrossHostSweepPartitionMixedV1V2(t *testing.T) {
 	backingDir := t.TempDir()
 	backing, err := store.Open(backingDir)
@@ -339,7 +339,7 @@ func TestCrossHostSweepPartitionMixedV1V2(t *testing.T) {
 			computed, calls, want)
 	}
 
-	// Every blob — seeded and fresh alike — now rests in the v2
+	// Every blob — seeded and fresh alike — now rests in the v3
 	// container, and both local tiers healed to byte-identical copies
 	// of the daemon's.
 	for _, p := range profiles {
@@ -351,8 +351,8 @@ func TestCrossHostSweepPartitionMixedV1V2(t *testing.T) {
 		if err != nil {
 			t.Fatalf("daemon blob %s: %v", k, err)
 		}
-		if len(wantBytes) < 2 || wantBytes[0] != 0x1f || wantBytes[1] != 0x8b {
-			t.Fatalf("daemon blob %s not healed to the v2 container", k)
+		if store.ContainerOf(wantBytes) != store.ContainerV3 {
+			t.Fatalf("daemon blob %s not healed to the v3 container", k)
 		}
 		for i, h := range hosts {
 			got, err := os.ReadFile(filepath.Join(h.cacheDir, k.Digest+".json"))

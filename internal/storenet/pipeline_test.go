@@ -1,0 +1,110 @@
+package storenet
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"golatest/internal/store"
+)
+
+// TestWarmRemoteGetSingleDecode is the single-validation pipeline's
+// instrumented proof: a warm remote Get costs exactly one blob decode
+// end-to-end on the client — the wire body is validated once by
+// ValidateBlobBytes and the resulting proof is written to the cache
+// tier verbatim, with no second parse on the PutValidated side. The
+// store's decode-pass counter (every parseBlob call, any container,
+// process-wide) is the witness.
+func TestWarmRemoteGetSingleDecode(t *testing.T) {
+	k := testKey(t, 0)
+	wire, err := store.EncodeBlobV3(k, testResult(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dumb byte server, not a daemon: the daemon's own read path
+	// would add its decode to the process-wide counter and hide the
+	// client's count. This serves the container the way any v3-aware
+	// peer would — bytes verbatim, octet-stream.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(wire)
+	}))
+	defer srv.Close()
+
+	cache, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newClient(t, srv.URL, cache)
+
+	before := store.DecodePasses()
+	res, ok := c.Get(k)
+	if !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("remote Get = %+v ok=%v", res, ok)
+	}
+	if got := store.DecodePasses() - before; got != 1 {
+		t.Fatalf("warm remote Get cost %d decode passes, want exactly 1", got)
+	}
+
+	// The cache tier holds the wire bytes verbatim — the zero-copy half
+	// of the single-validation contract.
+	disk, err := os.ReadFile(filepath.Join(cache.Dir(), k.Digest+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(disk, wire) {
+		t.Fatal("cache tier blob differs from the validated wire bytes")
+	}
+
+	// The now-local blob serves through the cache tier with one decode
+	// (the local tier's own validating read) and no network traffic.
+	srv.Close()
+	before = store.DecodePasses()
+	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("cache-tier Get = %+v ok=%v", res, ok)
+	}
+	if got := store.DecodePasses() - before; got != 1 {
+		t.Fatalf("cache-tier Get cost %d decode passes, want exactly 1", got)
+	}
+}
+
+// TestWarmRemoteGetDecodeBudgetWithDaemon extends the proof across the
+// full daemon round trip: end to end, a warm remote Get is exactly two
+// decodes process-wide — the daemon's validating read and the client's
+// wire validation — where the pre-ValidatedBlob pipeline spent a third
+// on re-parsing inside the cache heal.
+func TestWarmRemoteGetDecodeBudgetWithDaemon(t *testing.T) {
+	backing, srv := newDaemon(t)
+	k := testKey(t, 0)
+	if err := backing.Put(k, testResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newClient(t, srv.URL, cache)
+
+	before := store.DecodePasses()
+	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" {
+		t.Fatalf("remote Get = %+v ok=%v", res, ok)
+	}
+	if got := store.DecodePasses() - before; got != 2 {
+		t.Fatalf("daemon round trip cost %d decode passes, want exactly 2 (server read + client validation)", got)
+	}
+	// And the tiers hold identical bytes.
+	want, err := os.ReadFile(filepath.Join(backing.Dir(), k.Digest+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(cache.Dir(), k.Digest+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("cache tier diverged from the daemon's disk bytes")
+	}
+}

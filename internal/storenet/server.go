@@ -20,9 +20,14 @@ import (
 // store itself is the synchronisation point, exactly as it is for local
 // processes sharing the directory.
 type Server struct {
-	st   *store.Store
-	mux  *http.ServeMux
-	auth *TokenSet // nil = open (trusted-LAN) mode
+	st  *store.Store
+	mux *http.ServeMux
+
+	// auth is the live token set, nil = open (trusted-LAN) mode. A
+	// pointer swap (SetAuth) is how cmd/stored reloads -tokens on
+	// SIGHUP without dropping the listener: every routed request loads
+	// the current set at admission time.
+	auth atomic.Pointer[TokenSet]
 
 	// metrics is the per-endpoint request/latency ledger the outermost
 	// ServeHTTP wrapper feeds and GET /metrics exports. It observes
@@ -84,7 +89,8 @@ func NewServer(st *store.Store) *Server { return NewServerWith(st, ServerOptions
 
 // NewServerWith builds the handler for a store with production options.
 func NewServerWith(st *store.Store, opts ServerOptions) *Server {
-	s := &Server{st: st, mux: http.NewServeMux(), auth: opts.Auth, metrics: newRequestMetrics()}
+	s := &Server{st: st, mux: http.NewServeMux(), metrics: newRequestMetrics()}
+	s.auth.Store(opts.Auth)
 	s.route("GET "+apiPrefix+"/blobs/{digest}", ScopeRead, s.handleBlobGet) // matches HEAD too
 	s.route("PUT "+apiPrefix+"/blobs/{digest}", ScopeWrite, s.handleBlobPut)
 	s.route("GET "+apiPrefix+"/leases/{digest}", ScopeRead, s.handleLeasePeek)
@@ -111,19 +117,26 @@ func NewServerWith(st *store.Store, opts ServerOptions) *Server {
 // route registers an API handler, wrapped by auth enforcement when a
 // token set is configured. Tying the required scope to the
 // registration (rather than checks inside handlers) means a new
-// endpoint cannot forget enforcement.
+// endpoint cannot forget enforcement — and loading the token set per
+// request (rather than capturing it at registration) is what makes a
+// SetAuth swap take effect on the very next request.
 func (s *Server) route(pattern string, need Scope, h http.HandlerFunc) {
-	if s.auth == nil {
-		s.mux.HandleFunc(pattern, h)
-		return
-	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if !s.auth.admit(w, r, need) {
+		if ts := s.auth.Load(); ts != nil && !ts.admit(w, r, need) {
 			return
 		}
 		h(w, r)
 	})
 }
+
+// SetAuth atomically replaces the live token set; nil reopens the
+// daemon. In-flight requests finish under the set they were admitted
+// with; every subsequent request is admitted against the new one —
+// revoked tokens stop working immediately, without a listener bounce.
+// Rate-limit buckets live inside the TokenSet, so a swap also resets
+// quota accounting; a reload is an operator action rare enough for
+// that to be the right trade.
+func (s *Server) SetAuth(ts *TokenSet) { s.auth.Store(ts) }
 
 // Store returns the store the server fronts.
 func (s *Server) Store() *store.Store { return s.st }
@@ -200,13 +213,17 @@ func acceptsGzip(r *http.Request) bool {
 // HEAD is the cheap existence probe Has maps to and deliberately
 // touches nothing.
 //
-// The response body is negotiated: the store keeps blobs in the
-// compressed (v2) container, so a client that accepts gzip gets the
-// disk bytes verbatim under Content-Encoding: gzip — a near-zero-copy
-// passthrough, no recompression, no re-encode — while an identity-only
-// client gets the canonical JSON inflated on the fly through pooled
-// readers. Either way the entity is the same canonical envelope, so
-// the digest ETag and If-None-Match semantics are unchanged.
+// The response body is negotiated on two axes. A client declaring
+// X-Blob-Accept: v3 gets the store's v3 disk bytes verbatim as
+// application/octet-stream — the zero-copy passthrough, no
+// re-encode — which its validator then writes to its cache tier
+// unchanged. Legacy clients see the canonical-JSON entity the v1 API
+// always served: gzip-accepting ones get the deterministic compressed
+// view (byte-equal to EncodeBlobCompressed) under Content-Encoding:
+// gzip, identity-only ones get the canonical JSON rendered on the fly
+// through pooled writers. All three are representations of the same
+// canonical envelope, so the digest ETag and If-None-Match semantics
+// are unchanged.
 func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 	digest := s.digest(w, r)
 	if digest == "" {
@@ -230,10 +247,11 @@ func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "storenet: no blob", http.StatusNotFound)
 		return
 	}
-	// The body representation depends on Accept-Encoding (passthrough vs
-	// inflated) while both share the digest ETag — a shared cache must
-	// key on the coding or it would serve gzip to an identity client.
-	w.Header().Set("Vary", "Accept-Encoding")
+	// The body representation depends on X-Blob-Accept (binary
+	// passthrough) and Accept-Encoding (compressed vs inflated JSON)
+	// while all share the digest ETag — a shared cache must key on both
+	// headers or it would serve the wrong representation.
+	w.Header().Set("Vary", "Accept-Encoding, X-Blob-Accept")
 	w.Header().Set("ETag", etagFor(digest))
 	// Blobs are immutable per digest: a cached body that ever matched is
 	// still good.
@@ -241,33 +259,65 @@ func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	// GetRaw serves the v3 container except when a legacy blob's disk
+	// heal failed mid-flight; sniff rather than assume.
+	cont := store.ContainerOf(data)
+	if cont == store.ContainerV3 && acceptsV3(r) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	// GetRaw serves the compressed container except when a legacy blob's
-	// disk heal failed mid-flight; sniff rather than assume.
-	if !store.IsGzipBlob(data) {
+	if cont == store.ContainerV1 {
 		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 		_, _ = w.Write(data)
 		return
 	}
 	if acceptsGzip(r) {
+		// v2 disk bytes pass through verbatim; v3 is re-rendered into the
+		// deterministic gzip view, byte-equal to what a v2 store would
+		// have served for the same blob.
 		w.Header().Set("Content-Encoding", "gzip")
-		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-		_, _ = w.Write(data)
+		if cont == store.ContainerV2 {
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			_, _ = w.Write(data)
+			return
+		}
+		_ = store.WriteCanonicalCompressed(w, data)
 		return
 	}
-	// Identity-only client: inflate through the store codec's pooled
-	// readers. (GetRaw already validated the stream; this second
-	// inflate is the rare path's price for the common path's
+	// Identity-only client: render the canonical JSON through the store
+	// codec's pooled machinery. (GetRaw already validated the blob; this
+	// second pass is the rare path's price for the common path's
 	// passthrough.) A mid-body error is unrecoverable over HTTP — the
 	// status line is gone — and the client's validation treats the
 	// truncated body as a miss.
 	_ = store.WriteCanonical(w, data)
 }
 
-// handleBlobPut validates and stores a blob. Invalid bytes — garbage,
-// wrong schema, digest mismatch — are the client's fault (400);
-// anything else is the store's (500). PUT is idempotent: same digest ⇒
-// same bytes, so a retried or concurrent duplicate write converges.
+// acceptsV3 reports whether the client declared it understands the v3
+// binary container (X-Blob-Accept: v3). Deliberately a bespoke header
+// rather than an Accept-Encoding coding: v3 is a different entity
+// serialisation, not a transfer coding, and proxies must not try to
+// decode it.
+func acceptsV3(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("X-Blob-Accept"), ",") {
+		if strings.TrimSpace(part) == "v3" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleBlobPut validates and stores a blob — any container — through
+// the store's proof-carrying path (PutRaw = ValidateBlobBytes +
+// PutValidated): the body is parsed exactly once, v3 bytes land on
+// disk verbatim, legacy bytes are re-containered from that one parse.
+// Invalid bytes — garbage, wrong schema, digest mismatch — are the
+// client's fault (400); anything else is the store's (500). PUT is
+// idempotent: same digest ⇒ same bytes, so a retried or concurrent
+// duplicate write converges.
 func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
 	digest := s.digest(w, r)
 	if digest == "" {

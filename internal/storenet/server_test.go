@@ -440,12 +440,14 @@ func TestServerConditionalGetVouchesExistence(t *testing.T) {
 	}
 }
 
-// TestServerContentNegotiation pins the wire table: a gzip-accepting
-// client gets the daemon's disk bytes verbatim under Content-Encoding:
-// gzip (the near-zero-copy passthrough), an identity-only client gets
-// the canonical JSON inflated on the fly, and a stock Go client (whose
+// TestServerContentNegotiation pins the wire table: a v3-declaring
+// client gets the daemon's disk bytes verbatim as octet-stream (the
+// near-zero-copy passthrough), a gzip-accepting legacy client gets the
+// deterministic compressed canonical view under Content-Encoding: gzip
+// (byte-equal to EncodeBlobCompressed), an identity-only client gets
+// the canonical JSON rendered on the fly, and a stock Go client (whose
 // transport negotiates and inflates transparently) sees the canonical
-// JSON too — three views of one immutable entity under one ETag.
+// JSON too — four views of one immutable entity under one ETag.
 func TestServerContentNegotiation(t *testing.T) {
 	st, srv := newDaemon(t)
 	k := testKey(t, 0)
@@ -456,16 +458,25 @@ func TestServerContentNegotiation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if store.ContainerOf(disk) != store.ContainerV3 {
+		t.Fatal("Put did not land the v3 container; the fixture is wrong")
+	}
 	canonical, err := store.EncodeBlob(k, testResult(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := store.EncodeBlobCompressed(k, testResult(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	blobURL := srv.URL + "/v1/blobs/" + k.Digest
 
-	// Raw client, explicit gzip: passthrough of the disk bytes.
+	// Raw client declaring the binary container: passthrough of the disk
+	// bytes, no transfer coding.
 	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
 	req, _ := http.NewRequest(http.MethodGet, blobURL, nil)
 	req.Header.Set("Accept-Encoding", "gzip")
+	req.Header.Set("X-Blob-Accept", "v3")
 	resp, err := raw.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -473,16 +484,43 @@ func TestServerContentNegotiation(t *testing.T) {
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("v3 GET: %s err=%v", resp.Status, err)
+	}
+	if resp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("v3 response carries Content-Encoding %q", resp.Header.Get("Content-Encoding"))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("v3 Content-Type = %q", ct)
+	}
+	if !bytes.Equal(body, disk) {
+		t.Fatal("v3 body is not the disk container verbatim")
+	}
+	if _, err := store.ValidateBlob(body, k.Digest); err != nil {
+		t.Fatalf("passthrough body does not validate: %v", err)
+	}
+
+	// Legacy gzip client (no v3 declaration): the deterministic
+	// compressed canonical view — what a v2-era daemon would have
+	// served — under Content-Encoding: gzip.
+	req, _ = http.NewRequest(http.MethodGet, blobURL, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err = raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("gzip GET: %s err=%v", resp.Status, err)
 	}
 	if resp.Header.Get("Content-Encoding") != "gzip" {
 		t.Fatalf("Content-Encoding = %q, want gzip", resp.Header.Get("Content-Encoding"))
 	}
-	if !bytes.Equal(body, disk) {
-		t.Fatal("gzip body is not the disk container verbatim")
+	if !bytes.Equal(body, compressed) {
+		t.Fatal("gzip body is not the deterministic compressed canonical view")
 	}
 	if _, err := store.ValidateBlob(body, k.Digest); err != nil {
-		t.Fatalf("passthrough body does not validate: %v", err)
+		t.Fatalf("gzip body does not validate: %v", err)
 	}
 
 	// Identity-only client: inflated canonical JSON, no coding header.

@@ -83,7 +83,9 @@ END {
 	# whenever this host can actually exhibit it.
 	serial = ns["BenchmarkCampaignSweepSerial"]
 	par = ns["BenchmarkCampaignSweepParallel"]
-	if (cores > 1 && serial > 0 && par > 0)
+	if (cores <= 1)
+		printf ",\n  \"sweep_parallel_speedup\": \"skipped: single-core host\""
+	else if (serial > 0 && par > 0)
 		printf ",\n  \"sweep_parallel_speedup\": %.2f", serial / par
 	cold = ns["BenchmarkSuiteCampaignCold"]
 	warm = ns["BenchmarkSuiteCampaignWarm"]
@@ -101,7 +103,20 @@ END {
 	journal = ns["BenchmarkStorePut/entries=1024"]
 	if (rewrite > 0 && journal > 0)
 		printf ",\n  \"manifest_put_speedup\": %.2f", rewrite / journal
-	# v2 blob container: raw/compressed ratio of a real quick-scale
+	# v3 streaming encode: the allocation profile of the binary blob
+	# writer, and the reduction vs the PR-5 JSON-pipeline encode baseline
+	# (5177 allocs/op on the CI container lineage; BenchmarkBlobEncodeJSON
+	# still reproduces it). The v3 encoder is alloc-free in steady state,
+	# so the reduction denominator is floored at 1 — read a 5177 there as
+	# "the entire baseline cost is gone".
+	enc_allocs = allocs["BenchmarkBlobEncode"]
+	enc_bytes = bytes["BenchmarkBlobEncode"]
+	if (ns["BenchmarkBlobEncode"] > 0) {
+		printf ",\n  \"blob_encode_allocs_per_op\": %d", enc_allocs
+		printf ",\n  \"blob_encode_bytes_per_op\": %d", enc_bytes
+		printf ",\n  \"encode_alloc_reduction\": %.0f", 5177 / (enc_allocs > 0 ? enc_allocs : 1)
+	}
+	# Blob container: raw/compressed ratio of a real quick-scale
 	# campaign blob (from TestBlobCompressionRatio), and the warm-get
 	# memory trajectory vs the PR-4 (uncompressed wire/disk) baseline —
 	# the two numbers the compressed codec exists to move. The *_vs_pr4

@@ -32,15 +32,15 @@ go test -race -count 2 \
 	./internal/storenet
 go test -race -count 2 -run 'TestSweepDegrade|TestSweepAutoPolicy|TestResolvePolicy' ./internal/fleet
 
-echo "== go test -race (v1->v2 blob migration) =="
-go test -race -run 'TestV1Blob|TestGetRawServesV1AsV2|TestMixedStoreRebuild|TestCorruptV2Blob' \
+echo "== go test -race (legacy v1/v2 -> v3 blob migration) =="
+go test -race -run 'TestLegacyBlobHealsToV3|TestGetRawServesLegacyAsV3|TestMixedStoreRebuild|TestCorruptBlobIsMissAndHeals|TestHealConvergence' \
 	-count 2 ./internal/store
 
 echo "== go test -race (backend conformance + auth/ratelimit) =="
 go test -race -count 2 \
 	-run 'TestBackendConformance|TestParseTokens|TestAuthScopeEnforcement|TestRateLimit429|TestByteQuota429|TestClientAuthTerminal|TestClient429HonorsRetryAfterWithoutBreakerTrip|TestAuthedProbesWhileDrainingAndThrottled' \
 	./internal/store ./internal/storenet
-go test -race -run 'TestDaemonAuthTokens|TestDaemonTLS|TestDaemonProbesSurviveAuthAndDrain' ./cmd/stored
+go test -race -run 'TestDaemonAuthTokens|TestDaemonTLS|TestDaemonProbesSurviveAuthAndDrain|TestDaemonTokenReloadOnSIGHUP' ./cmd/stored
 
 echo "== go test -race (stored load, reduced concurrency) =="
 STORED_LOAD_CLIENTS=25 go test -race -run 'TestStoredLoadConcurrent$' ./internal/storenet
@@ -48,8 +48,8 @@ STORED_LOAD_CLIENTS=25 go test -race -run 'TestStoredLoadConcurrent$' ./internal
 echo "== fuzz smoke (blob codec) =="
 # One target per invocation (go test's -fuzz constraint); a few seconds
 # each is a smoke over the seeded corpus plus whatever the engine grows,
-# not a soak — the corpus seeds alone cover both containers, truncation,
-# bit flips and the inflation rail.
+# not a soak — the corpus seeds alone cover all three containers,
+# truncation, torn v3 binary sections, bit flips and the inflation rail.
 go test -run '^$' -fuzz 'FuzzDecodeBlob$' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzF64UnmarshalJSON$' -fuzztime 5s ./internal/store
 
