@@ -10,7 +10,7 @@
 //	            [-cache-dir DIR] [-store-url URL] [-no-cache]
 //	            [-fleet N] [-parallel N] [-lease-ttl D] [-owner ID]
 //	            [-shard-offset N|auto] [-store-errors auto|abort|degrade]
-//	            [-reconcile]
+//	            [-reconcile] [-trace-out FILE]
 //	            [-gc] [-max-store-bytes N] [-max-store-age D]
 //	            [-gc-watermark-bytes N]
 //
@@ -57,12 +57,22 @@
 // deferred into the local tier's pending journal are replayed to the
 // daemon automatically when it returns, or explicitly with -reconcile,
 // which flushes the journal and exits without generating artefacts.
+//
+// With -trace-out, the run records every fleet sweep as a span tree —
+// one root span per sweep, one child span per shard (claim, compute,
+// put events), plus a span per store-client wire operation — and writes
+// the whole thing as Chrome trace_event JSON on exit. Load the file in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing to see where a
+// sweep's wall-clock time went; each sweep also prints its trace ID and
+// a per-shard timing table, and a stored daemon's /debug/ops flight
+// recorder shows the same trace IDs against the requests it served.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -72,6 +82,7 @@ import (
 	"golatest/internal/core"
 	"golatest/internal/experiments"
 	"golatest/internal/fleet"
+	"golatest/internal/obs"
 	"golatest/internal/report"
 	"golatest/internal/store"
 	"golatest/internal/storenet"
@@ -133,6 +144,7 @@ func run(args []string, out io.Writer) error {
 		watermark = fs.Int64("gc-watermark-bytes", 0, "run a size-bounded GC pass automatically after any sweep that leaves the store over this many bytes (0 = off)")
 		storeErrs = fs.String("store-errors", "auto", "sweep response to store write/claim failures: abort, degrade (finish the sweep via the local tier), or auto (degrade exactly when a local fallback tier exists)")
 		reconcile = fs.Bool("reconcile", false, "replay the local tier's pending journal (writes deferred during a daemon outage) to -store-url, print what was flushed, and exit")
+		traceOut  = fs.String("trace-out", "", "record fleet sweeps and store-client operations as spans and write them to this file as Chrome trace_event JSON (view in Perfetto or chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +168,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The tracer is shared by the suite's fleet sweeps and the store
+	// client, so sweep shards and the wire requests they issue land in
+	// one trace. Seeded from the campaign seed: same run, same span IDs.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New(obs.Options{Seed: *seed})
+	}
+
 	// The backend is (in order of preference) a stored daemon with an
 	// optional local write-through tier, a local store directory, or
 	// nothing. A nil backend must stay a true nil interface — a typed
@@ -171,8 +191,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *storeURL != "" && !*noCache {
 		client, err := storenet.NewClient(*storeURL, storenet.ClientOptions{
-			Cache: localStore,
-			Token: *storeTok,
+			Cache:  localStore,
+			Token:  *storeTok,
+			Tracer: tracer,
+			// Client diagnostics (breaker edges, reconcile replays) go to
+			// stderr as structured lines; artefact output stays on out.
+			Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		})
 		if err != nil {
 			return err
@@ -261,6 +285,7 @@ func run(args []string, out io.Writer) error {
 		ShardOffset:      shardOffset,
 		AutoShardOffset:  autoOffset,
 		StoreErrors:      storeErrors,
+		Tracer:           tracer,
 	})
 	for _, g := range generators {
 		if len(wanted) > 0 && !wanted[g.id] {
@@ -299,6 +324,36 @@ func run(args []string, out io.Writer) error {
 				gs.Evicted, gs.Scanned, gs.BytesBefore, gs.BytesAfter,
 				gs.TmpRemoved, gs.LeasesRemoved)
 		}
+		// The wire-level telemetry line mirrors what the client's span
+		// stream and the daemon's /metrics see; printed only when the run
+		// actually went over the network.
+		if c, ok := backend.(*storenet.Client); ok {
+			tel := c.Telemetry()
+			fmt.Fprintf(out, "client: %d retries, %d rate-limited, %d breaker opens, %d deferred, %d replayed, %d KiB out, %d KiB in\n",
+				tel.Retries, tel.RateLimited, tel.BreakerOpened, tel.DeferredPuts,
+				tel.ReconcileReplays, tel.BytesSent/1024, tel.BytesReceived/1024)
+		}
+	}
+	if tracer != nil {
+		for i, rep := range suite.SweepReports() {
+			fmt.Fprintf(out, "sweep %d: trace %s, %d shards (%d hits, %d computed)\n",
+				i, rep.TraceID, len(rep.Shards), rep.Hits, rep.Computed)
+			if err := rep.WriteTimingTable(out); err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d spans -> %s\n", len(tracer.Snapshot()), *traceOut)
 	}
 	return nil
 }

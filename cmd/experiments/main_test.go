@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -189,6 +190,127 @@ func TestCrossProcessSweepPartition(t *testing.T) {
 		if !bytes.Equal(want, got) {
 			t.Fatalf("%s differs between the two processes", name)
 		}
+	}
+}
+
+// TestTraceOutExport is the tentpole's CLI acceptance: -trace-out on a
+// quick-scale lease-mode fleet sweep writes valid Chrome trace_event
+// JSON whose span tree covers every shard — a fleet.sweep root, four
+// fleet.shard children parented under it in distinct timeline lanes,
+// claim/compute/put instants in each lane, and the store client's wire
+// spans sharing the sweep's trace ID — while the run log prints the
+// trace ID and the per-shard timing table.
+func TestTraceOutExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the four-unit A100 sweep")
+	}
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storenet.NewServer(backing))
+	defer srv.Close()
+
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	err = run([]string{"-scale", "quick", "-only", "fig7",
+		"-store-url", srv.URL, "-cache-dir", t.TempDir(), "-lease-ttl", "1m",
+		"-trace-out", traceFile, "-out", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TS    float64           `json:"ts"`
+			Dur   float64           `json:"dur"`
+			TID   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("-trace-out wrote invalid JSON: %v", err)
+	}
+
+	// Exactly one root span; its trace ID is printed in the run log.
+	rootSpan, rootTrace := "", ""
+	for _, e := range trace.TraceEvents {
+		if e.Name == "fleet.sweep" && e.Phase == "X" {
+			if rootSpan != "" {
+				t.Fatal("more than one fleet.sweep root")
+			}
+			rootSpan, rootTrace = e.Args["span_id"], e.Args["trace_id"]
+		}
+	}
+	if rootSpan == "" {
+		t.Fatalf("no fleet.sweep span in the export:\n%s", data)
+	}
+	if !strings.Contains(out.String(), "trace "+rootTrace) {
+		t.Fatalf("run log does not print the sweep trace ID %s:\n%s", rootTrace, out.String())
+	}
+
+	// Four shard spans under the root, one lane each.
+	const shards = 4
+	shardLanes := map[int]bool{}
+	clientSpans := 0
+	for _, e := range trace.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		switch {
+		case e.Name == "fleet.shard":
+			if e.Args["parent_id"] != rootSpan || e.Args["trace_id"] != rootTrace {
+				t.Fatalf("fleet.shard not under the sweep root: %+v", e)
+			}
+			if e.TID < 1 || shardLanes[e.TID] {
+				t.Fatalf("shard lane %d duplicated or out of range", e.TID)
+			}
+			shardLanes[e.TID] = true
+		case strings.HasPrefix(e.Name, "storenet."):
+			// Spans issued outside the sweep (the epilogue's stats fetch)
+			// legitimately carry their own root trace; only wire calls made
+			// on the sweep's behalf must share its trace ID.
+			if e.Args["trace_id"] == rootTrace {
+				clientSpans++
+			}
+		}
+	}
+	if len(shardLanes) != shards {
+		t.Fatalf("span tree covers %d shards, want %d", len(shardLanes), shards)
+	}
+	if clientSpans == 0 {
+		t.Fatal("no store-client spans in the export")
+	}
+
+	// Every shard lane carries the claim/compute/put instants.
+	for lane := range shardLanes {
+		seen := map[string]bool{}
+		for _, e := range trace.TraceEvents {
+			if e.Phase == "i" && e.TID == lane {
+				seen[e.Name] = true
+			}
+		}
+		for _, ev := range []string{"claim", "compute", "put"} {
+			if !seen[ev] {
+				t.Fatalf("shard lane %d missing %q instant (has %v)", lane, ev, seen)
+			}
+		}
+	}
+
+	// The per-shard timing table rides the run log.
+	if !strings.Contains(out.String(), "shard\tprofile\tsource") &&
+		!strings.Contains(out.String(), "store") {
+		t.Fatalf("no timing table in the run log:\n%s", out.String())
+	}
+	tableRe := regexp.MustCompile(`(?m)^\d+ +a100/\d+ +computed`)
+	if !tableRe.MatchString(out.String()) {
+		t.Fatalf("timing table rows missing:\n%s", out.String())
 	}
 }
 

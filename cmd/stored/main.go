@@ -10,6 +10,7 @@
 //	stored -dir DIR [-addr HOST:PORT] [-stats-every D]
 //	       [-gc-every D] [-gc-watermark-bytes N] [-max-store-age D]
 //	       [-drain-grace D] [-tokens FILE] [-cert FILE -key FILE]
+//	       [-log-level debug|info|warn|error]
 //
 // With -tokens, the daemon is multi-tenant: every /v1 request must
 // carry an Authorization: Bearer token from the file, which grants a
@@ -32,8 +33,18 @@
 // sweeps crash debris (orphaned staging files, expired leases).
 // With -stats-every, the daemon periodically logs one /v1/stats-backed
 // line — blob count, on-disk and raw bytes with the compression ratio,
-// traffic counters, and lease churn — so fleet health is visible from
-// the daemon's log without shelling into the store host.
+// traffic counters, lease churn, and the p50/p99 request-latency
+// estimates — so fleet health is visible from the daemon's log without
+// shelling into the store host.
+//
+// All daemon output is structured log/slog text (key=value); -log-level
+// debug adds one line per /v1 request carrying the method, path,
+// status, latency, and the client's trace ID when the request carried a
+// W3C traceparent header. The same records (the last 256) are served as
+// JSON from GET /debug/ops, and Go runtime profiles from
+// GET /debug/pprof/... — both admin-scoped when -tokens is set, so
+// profiling a production daemon needs an admin credential but never a
+// restart.
 //
 // The daemon serves k8s-style probes outside the versioned API:
 // GET /healthz is liveness (the process answers), GET /readyz is
@@ -52,11 +63,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
@@ -93,8 +104,10 @@ type daemon struct {
 	auth       *storenet.TokenSet // nil = open mode
 	tokensPath string             // re-read on SIGHUP
 
-	mu  sync.Mutex // serializes log lines (the GC/stats loops run concurrently)
-	out io.Writer
+	// log is the daemon's structured logger (slog text lines on the
+	// configured output). The handler serializes concurrent records, so
+	// the GC/stats loops need no extra locking.
+	log *slog.Logger
 }
 
 // newDaemon parses flags, opens the store, and binds the listener —
@@ -114,12 +127,17 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		tokens     = fs.String("tokens", "", "bearer-token file enabling multi-tenant auth: one '<token> <scopes> [rps=N] [burst=N] [bps=N] [bburst=N]' per line (scopes: read, write, admin; 0 = open mode)")
 		certFile   = fs.String("cert", "", "TLS certificate file (PEM); with -key, serve HTTPS")
 		keyFile    = fs.String("key", "", "TLS private key file (PEM); with -cert, serve HTTPS")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error (debug adds a per-request line carrying the client's trace ID)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *dir == "" {
 		return nil, fmt.Errorf("-dir is required")
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn, or error", *logLevel)
 	}
 	if (*watermark > 0 || *maxAge > 0) && *gcEvery <= 0 {
 		return nil, fmt.Errorf("-gc-watermark-bytes/-max-store-age need -gc-every to schedule the pass")
@@ -142,9 +160,10 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := slog.New(slog.NewTextHandler(out, &slog.HandlerOptions{Level: lvl}))
 	return &daemon{
 		st:         st,
-		srv:        storenet.NewServerWith(st, storenet.ServerOptions{Auth: auth}),
+		srv:        storenet.NewServerWith(st, storenet.ServerOptions{Auth: auth, Logger: logger}),
 		ln:         ln,
 		gcEvery:    *gcEvery,
 		statsEvery: *statsEvery,
@@ -154,7 +173,7 @@ func newDaemon(args []string, out io.Writer) (*daemon, error) {
 		keyFile:    *keyFile,
 		auth:       auth,
 		tokensPath: *tokens,
-		out:        out,
+		log:        logger,
 	}, nil
 }
 
@@ -167,20 +186,15 @@ func (d *daemon) URL() string {
 	return scheme + "://" + d.ln.Addr().String()
 }
 
-func (d *daemon) logf(format string, args ...any) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	fmt.Fprintf(d.out, format, args...)
-}
-
 // serve runs the daemon until the context is cancelled, then drains
 // in-flight requests and returns nil.
 func (d *daemon) serve(ctx context.Context) error {
 	srv := &http.Server{Handler: d.srv}
-	d.logf("stored: serving %s at %s (api v%d, %d blobs)\n",
-		d.st.Dir(), d.URL(), storenet.APIVersion, d.st.Len())
+	d.log.Info("serving",
+		"dir", d.st.Dir(), "url", d.URL(),
+		"api", storenet.APIVersion, "blobs", d.st.Len())
 	if d.auth != nil {
-		d.logf("stored: auth: %d tokens loaded, /v1 requires Bearer credentials\n", d.auth.Len())
+		d.log.Info("auth tokens loaded", "count", d.auth.Len())
 	}
 	if d.gcEvery > 0 {
 		go d.gcLoop(ctx)
@@ -210,14 +224,14 @@ func (d *daemon) serve(ctx context.Context) error {
 		// requests before closing.
 		d.srv.SetDraining(true)
 		if d.drainGrace > 0 {
-			d.logf("stored: draining (grace %v)\n", d.drainGrace)
+			d.log.Info("draining", "grace", d.drainGrace)
 			time.Sleep(d.drainGrace)
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 		<-errc // always http.ErrServerClosed after Shutdown
-		d.logf("stored: shut down\n")
+		d.log.Info("shut down")
 		return nil
 	case err := <-errc:
 		return err
@@ -239,11 +253,11 @@ func (d *daemon) reloadLoop(ctx context.Context, hup <-chan os.Signal) {
 		case <-hup:
 			ts, err := storenet.LoadTokens(d.tokensPath)
 			if err != nil {
-				d.logf("stored: auth: reload failed, keeping previous tokens: %v\n", err)
+				d.log.Warn("auth reload failed, keeping previous tokens", "error", err)
 				continue
 			}
 			d.srv.SetAuth(ts)
-			d.logf("stored: auth: reloaded %d tokens from %s\n", ts.Len(), d.tokensPath)
+			d.log.Info("auth reloaded", "count", ts.Len(), "path", d.tokensPath)
 		}
 	}
 }
@@ -264,14 +278,19 @@ func (d *daemon) statsLoop(ctx context.Context) {
 }
 
 // logStats emits the periodic health line — the /v1/stats snapshot,
-// formatted (storenet.Server.Stats is the single assembly point).
+// structured (storenet.Server.Stats is the single assembly point). The
+// latency quantiles are the server's histogram-bucket estimates across
+// all endpoints since start.
 func (d *daemon) logStats() {
 	st := d.srv.Stats()
 	c, ls := st.Counters, st.Leases
-	d.logf("stored: stats: %d blobs, %d bytes (%d raw, %.1fx), %d hits %d misses %d puts %d corrupt, leases %d acquired (%d stolen) %d busy %d renewed %d released\n",
-		st.Blobs, st.Bytes, st.RawBytes, st.CompressionRatio,
-		c.Hits, c.Misses, c.Puts, c.Corrupt,
-		ls.Acquired, ls.Stolen, ls.Busy, ls.Renewed, ls.Released)
+	d.log.Info("stats",
+		"blobs", st.Blobs, "bytes", st.Bytes, "raw_bytes", st.RawBytes,
+		"compression", st.CompressionRatio,
+		"hits", c.Hits, "misses", c.Misses, "puts", c.Puts, "corrupt", c.Corrupt,
+		"acquired", ls.Acquired, "stolen", ls.Stolen, "busy", ls.Busy,
+		"renewed", ls.Renewed, "released", ls.Released,
+		"p50", time.Duration(st.LatencyP50Ns), "p99", time.Duration(st.LatencyP99Ns))
 }
 
 // gcLoop applies the daemon's GC policy on a timer. Every pass at least
@@ -287,13 +306,14 @@ func (d *daemon) gcLoop(ctx context.Context) {
 		case <-t.C:
 			gs, err := d.st.GC(d.policy)
 			if err != nil {
-				d.logf("stored: gc: %v\n", err)
+				d.log.Warn("gc failed", "error", err)
 				continue
 			}
 			if gs.Evicted > 0 || gs.TmpRemoved > 0 || gs.LeasesRemoved > 0 {
-				d.logf("stored: gc: evicted %d of %d blobs, %d -> %d bytes, swept %d tmp + %d leases\n",
-					gs.Evicted, gs.Scanned, gs.BytesBefore, gs.BytesAfter,
-					gs.TmpRemoved, gs.LeasesRemoved)
+				d.log.Info("gc",
+					"evicted", gs.Evicted, "scanned", gs.Scanned,
+					"bytes_before", gs.BytesBefore, "bytes_after", gs.BytesAfter,
+					"tmp_swept", gs.TmpRemoved, "leases_swept", gs.LeasesRemoved)
 			}
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"golatest/internal/core"
+	"golatest/internal/obs"
 	"golatest/internal/store"
 	"golatest/internal/storenet"
 )
@@ -105,8 +106,9 @@ func TestDaemonServesStore(t *testing.T) {
 	}
 
 	stop() // graceful shutdown must drain and report cleanly
-	if !strings.Contains(out.String(), "stored: serving "+dir) ||
-		!strings.Contains(out.String(), "stored: shut down") {
+	if !strings.Contains(out.String(), "msg=serving") ||
+		!strings.Contains(out.String(), "dir="+dir) ||
+		!strings.Contains(out.String(), `msg="shut down"`) {
 		t.Fatalf("daemon log:\n%s", out.String())
 	}
 
@@ -188,12 +190,13 @@ func TestDaemonStatsLine(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		s := out.String()
-		if strings.Contains(s, "stored: stats: 1 blobs") &&
-			strings.Contains(s, "1 puts") && strings.Contains(s, "1 acquired") {
+		if strings.Contains(s, "msg=stats") && strings.Contains(s, "blobs=1") &&
+			strings.Contains(s, "puts=1") && strings.Contains(s, "acquired=1") &&
+			strings.Contains(s, "p50=") && strings.Contains(s, "p99=") {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("no stats line with blob/put/lease counts:\n%s", s)
+			t.Fatalf("no stats line with blob/put/lease counts and latency quantiles:\n%s", s)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -275,6 +278,91 @@ func TestDaemonProbes(t *testing.T) {
 	}
 }
 
+// TestDaemonDebugEndpoints: the flight recorder and the profiling
+// surface through real daemon wiring — and the tentpole's correlation
+// contract: a warm remote Get is one client span whose trace identity
+// matches exactly one server-side request record in /debug/ops.
+func TestDaemonDebugEndpoints(t *testing.T) {
+	d, _, stop := startDaemon(t, "-dir", t.TempDir(), "-addr", "127.0.0.1:0")
+	defer stop()
+
+	tr := obs.New(obs.Options{Seed: 99})
+	c, err := storenet.NewClient(d.URL(), storenet.ClientOptions{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := store.KeyFor("a100", 0, 42, core.Config{Frequencies: []float64{705}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(k, &core.Result{DeviceName: "a100[0]"}); err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := c.Get(k); !ok || res.DeviceName != "a100[0]" { // the warm remote Get
+		t.Fatalf("warm get: %+v ok=%v", res, ok)
+	}
+
+	// Exactly one client span named storenet.get, ending in a hit.
+	var get *obs.SpanRecord
+	for _, s := range tr.Snapshot() {
+		if s.Name != "storenet.get" {
+			continue
+		}
+		if get != nil {
+			t.Fatal("more than one storenet.get span for one Get")
+		}
+		g := s
+		get = &g
+	}
+	if get == nil {
+		t.Fatal("no storenet.get span recorded")
+	}
+
+	// The flight recorder holds exactly one record carrying that span's
+	// trace identity — the wire request the Get issued.
+	resp, err := http.Get(d.URL() + "/debug/ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops struct {
+		Capacity int                  `json:"capacity"`
+		Records  []storenet.OpsRecord `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ops)
+	resp.Body.Close()
+	if err != nil || ops.Capacity == 0 {
+		t.Fatalf("/debug/ops: %+v err=%v", ops, err)
+	}
+	var matches []storenet.OpsRecord
+	for _, r := range ops.Records {
+		if r.TraceID == get.Context.TraceID.String() {
+			matches = append(matches, r)
+		}
+	}
+	if len(matches) != 1 {
+		t.Fatalf("want exactly 1 ops record for trace %s, got %d: %+v",
+			get.Context.TraceID, len(matches), matches)
+	}
+	rec := matches[0]
+	if rec.SpanID != get.Context.SpanID.String() || rec.Method != http.MethodGet ||
+		rec.Status != http.StatusOK || !strings.Contains(rec.Path, k.Digest) {
+		t.Fatalf("ops record does not match the client span: %+v", rec)
+	}
+	// Only data-plane requests are recorded — the /debug/ops scrape
+	// itself must not appear.
+	for _, r := range ops.Records {
+		if strings.HasPrefix(r.Path, "/debug/") {
+			t.Fatalf("debug request leaked into the flight recorder: %+v", r)
+		}
+	}
+
+	// The pprof index answers on the same listener (open mode: no token
+	// needed; with -tokens it would demand admin scope).
+	if got := probeStatus(t, d.URL()+"/debug/pprof/"); got != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d, want 200", got)
+	}
+}
+
 // writeTokensFile writes a -tokens credential file and returns its path.
 func writeTokensFile(t *testing.T, content string) string {
 	t.Helper()
@@ -348,7 +436,8 @@ secret-reader read
 		t.Errorf("reader put err = %v, want ErrAuth", err)
 	}
 
-	if !strings.Contains(out.String(), "auth: 3 tokens loaded") {
+	if !strings.Contains(out.String(), `msg="auth tokens loaded"`) ||
+		!strings.Contains(out.String(), "count=3") {
 		t.Fatalf("no auth log line:\n%s", out.String())
 	}
 }
@@ -433,7 +522,7 @@ func TestDaemonTokenReloadOnSIGHUP(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline = time.Now().Add(2 * time.Second)
-	for !strings.Contains(out.String(), "auth: reload failed") {
+	for !strings.Contains(out.String(), "auth reload failed") {
 		if time.Now().After(deadline) {
 			t.Fatalf("failed reload never logged:\n%s", out.String())
 		}
@@ -447,7 +536,9 @@ func TestDaemonTokenReloadOnSIGHUP(t *testing.T) {
 	if err := <-probeErr; err != nil {
 		t.Fatalf("probe blipped during rotation: %v", err)
 	}
-	if !strings.Contains(out.String(), "auth: reloaded 1 tokens from "+tokens) {
+	if !strings.Contains(out.String(), `msg="auth reloaded"`) ||
+		!strings.Contains(out.String(), "count=1") ||
+		!strings.Contains(out.String(), "path="+tokens) {
 		t.Fatalf("no reload log line:\n%s", out.String())
 	}
 }

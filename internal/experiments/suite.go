@@ -26,6 +26,7 @@ import (
 	"golatest/internal/fleet"
 	"golatest/internal/hwprofile"
 	"golatest/internal/nvml"
+	"golatest/internal/obs"
 	"golatest/internal/sim/clock"
 	"golatest/internal/store"
 )
@@ -106,6 +107,12 @@ type Options struct {
 	// decide from whether the backend has a local fallback tier. See
 	// fleet.StoreErrorPolicy.
 	StoreErrors fleet.StoreErrorPolicy
+	// Tracer, when non-nil, is handed to every fleet sweep: each
+	// multi-unit study records a root span with per-shard children, and
+	// a store client in reach carries the sweep's trace ID on its wire
+	// requests (see fleet.Options.Tracer). The reports — including the
+	// per-shard timing the trace reflects — accumulate in SweepReports.
+	Tracer *obs.Tracer
 }
 
 // Suite runs and caches the campaigns all artefacts derive from.
@@ -130,6 +137,24 @@ type Suite struct {
 	// Store-failure resilience, accumulated over every fleet sweep; see
 	// Resilience.
 	degraded, deferred, reconciled atomic.Int64
+
+	// Every fleet report this suite produced, in completion order; see
+	// SweepReports. Guarded by repMu, not mu — sweeps run concurrently
+	// with campaign singleflight traffic.
+	repMu   sync.Mutex
+	reports []*fleet.Report
+}
+
+// SweepReports returns every fleet report the suite's multi-unit
+// studies have produced so far, in completion order. Each carries the
+// per-shard timing breakdown (Report.WriteTimingTable) and, under a
+// tracer, the sweep's trace ID.
+func (s *Suite) SweepReports() []*fleet.Report {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	out := make([]*fleet.Report, len(s.reports))
+	copy(out, s.reports)
+	return out
 }
 
 // Contention reports the cross-process coordination a suite's sweeps
@@ -353,6 +378,13 @@ func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
 		ShardOffset:     s.opts.ShardOffset,
 		AutoShardOffset: s.opts.AutoShardOffset,
 		StoreErrors:     s.opts.StoreErrors,
+		Tracer:          s.opts.Tracer,
+	}
+	if s.opts.Store != nil && s.opts.LeaseTTL <= 0 {
+		// Single-process mode: the fleet never sees the store (Campaign
+		// owns the lookup), so hand it the store's trace carrier directly
+		// — the suite's store traffic still attributes to the sweep.
+		fo.TraceCarrier, _ = s.opts.Store.(obs.TraceContextSetter)
 	}
 	if s.opts.Store != nil && s.opts.LeaseTTL > 0 {
 		fo.Store = s.opts.Store
@@ -377,6 +409,9 @@ func (s *Suite) sweep(profiles []hwprofile.Profile) ([]*core.Result, error) {
 		s.degraded.Add(int64(rep.Degraded))
 		s.deferred.Add(int64(rep.Deferred))
 		s.reconciled.Add(int64(rep.Reconciled))
+		s.repMu.Lock()
+		s.reports = append(s.reports, rep)
+		s.repMu.Unlock()
 	}
 	if err != nil {
 		return nil, err

@@ -37,14 +37,17 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"text/tabwriter"
 	"time"
 
 	"golatest/internal/core"
 	"golatest/internal/hwprofile"
+	"golatest/internal/obs"
 	"golatest/internal/store"
 )
 
@@ -130,6 +133,25 @@ type Options struct {
 	// store reports a local fallback tier (store.Resilient with
 	// CanDegrade), abort otherwise.
 	StoreErrors StoreErrorPolicy
+
+	// Tracer, when non-nil, records the sweep as a span tree: one root
+	// span with a per-shard child span in its own timeline lane (TID =
+	// shard index + 1), carrying typed events (claim/wait/steal, store
+	// hit/miss, compute, put, defer, degrade). The root span's context
+	// is installed on Options.Store when it implements
+	// obs.TraceContextSetter, so a storenet.Client's wire requests —
+	// and the daemon-side records they leave — correlate with this
+	// sweep by trace ID. nil disables tracing at zero cost; per-shard
+	// wall-clock attribution (Shard.StoreNs/WaitNs/ComputeNs) is
+	// collected either way.
+	Tracer *obs.Tracer
+
+	// TraceCarrier optionally names an additional trace-context carrier
+	// (typically the store client a Run callback reads through when
+	// Options.Store is nil because the callback does its own
+	// persistence). Options.Store is consulted automatically; set this
+	// only for store traffic the sweep cannot see.
+	TraceCarrier obs.TraceContextSetter
 }
 
 // StoreErrorPolicy is a sweep's response to store write/claim failures.
@@ -195,6 +217,12 @@ type Shard struct {
 	FromCache bool
 	// Err is the shard's failure, if any.
 	Err error
+	// Wall-clock attribution for the shard, collected whether or not a
+	// tracer is configured: StoreNs is time spent in store reads and
+	// writes (Get + Put), WaitNs is time spent parked on a peer's claim,
+	// ComputeNs is time inside Options.Run. Report.WriteTimingTable
+	// renders these; a trace export shows the same intervals as spans.
+	StoreNs, WaitNs, ComputeNs int64
 }
 
 // Report summarises a sweep.
@@ -226,6 +254,10 @@ type Report struct {
 	// GC carries the stats of the watermark GC pass that followed the
 	// sweep, when Options.GCWatermarkBytes triggered one; nil otherwise.
 	GC *store.GCStats
+	// TraceID is the hex trace identifier of the sweep's root span when
+	// Options.Tracer was set ("" otherwise) — the value to grep for in a
+	// trace export or a daemon's /debug/ops flight recorder.
+	TraceID string
 }
 
 // Results returns the shard results in shard order. Only meaningful when
@@ -236,6 +268,33 @@ func (r *Report) Results() []*core.Result {
 		out[i] = r.Shards[i].Result
 	}
 	return out
+}
+
+// WriteTimingTable renders the per-shard wall-clock breakdown as an
+// aligned text table: where each shard's time went (store I/O, waiting
+// on peers, compute) and how it resolved. The same intervals appear as
+// spans in a trace export; the table is the no-tooling view.
+func (r *Report) WriteTimingTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shard\tprofile\tsource\tstore\twait\tcompute")
+	for i := range r.Shards {
+		sh := &r.Shards[i]
+		src := "computed"
+		switch {
+		case sh.Err != nil:
+			src = "error"
+		case sh.Result == nil:
+			src = "unreached"
+		case sh.FromCache:
+			src = "cache"
+		}
+		fmt.Fprintf(tw, "%d\t%s/%d\t%s\t%s\t%s\t%s\n",
+			i, sh.Profile.Key, sh.Profile.Instance, src,
+			time.Duration(sh.StoreNs).Round(time.Microsecond),
+			time.Duration(sh.WaitNs).Round(time.Microsecond),
+			time.Duration(sh.ComputeNs).Round(time.Microsecond))
+	}
+	return tw.Flush()
 }
 
 // ShardPlan previews one shard of a prospective sweep.
@@ -305,9 +364,25 @@ type sweeper struct {
 	owner   string
 	degrade bool // resolved StoreErrors policy
 
+	tracer  *obs.Tracer     // nil when tracing is off
+	rootCtx obs.SpanContext // the sweep root span's context
+
 	failed                                  atomic.Bool
 	hits, computed, claimed, waited, stolen atomic.Int64
 	degraded                                atomic.Int64
+}
+
+// shardSpan opens the per-shard child span: its own timeline lane (TID
+// = shard index + 1, lane 0 being the root) labelled with the shard's
+// profile. nil tracer → nil span, and every use below is nil-safe.
+func (w *sweeper) shardSpan(sh *Shard, idx int) *obs.Span {
+	if w.tracer == nil {
+		return nil
+	}
+	span := w.tracer.StartSpan("fleet.shard", w.rootCtx)
+	span.SetTID(idx + 1)
+	span.SetAttr("profile", fmt.Sprintf("%s/%d", sh.Profile.Key, sh.Profile.Instance))
+	return span
 }
 
 // resolvePolicy turns StoreErrorsAuto into a concrete choice: degrade
@@ -365,9 +440,30 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 		return rep, nil
 	}
 
-	sw := &sweeper{opts: opts, owner: opts.Owner}
+	sw := &sweeper{opts: opts, owner: opts.Owner, tracer: opts.Tracer}
 	if sw.owner == "" {
 		sw.owner = defaultOwner()
+	}
+	var root *obs.Span
+	if sw.tracer != nil {
+		root = sw.tracer.StartRoot("fleet.sweep")
+		root.SetAttr("owner", sw.owner)
+		root.SetAttr("shards", fmt.Sprintf("%d", len(profiles)))
+		root.SetAttr("replicas", fmt.Sprintf("%d", opts.replicas(len(profiles))))
+		sw.rootCtx = root.Context()
+		rep.TraceID = sw.rootCtx.TraceID.String()
+		defer root.End()
+		// Install the sweep's trace identity on every store client in
+		// reach, and clear it when the sweep ends so later traffic is not
+		// misattributed. A deferred Put journals the context it was issued
+		// under, so even a reconcile replayed after this clear still
+		// carries this sweep's trace ID.
+		for _, c := range []obs.TraceContextSetter{traceSetter(opts.Store), opts.TraceCarrier} {
+			if c != nil {
+				c.SetTraceContext(sw.rootCtx)
+				defer c.SetTraceContext(obs.SpanContext{})
+			}
+		}
 	}
 	var before store.ResilienceStats
 	if opts.Store != nil {
@@ -395,8 +491,9 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 				if i >= len(profiles) || sw.failed.Load() {
 					return
 				}
-				sh := &rep.Shards[(i+offset)%len(profiles)]
-				if err := sw.runShard(sh); err != nil {
+				idx := (i + offset) % len(profiles)
+				sh := &rep.Shards[idx]
+				if err := sw.runShard(sh, idx); err != nil {
 					if errors.Is(err, errAborted) {
 						return // unreached, not failed
 					}
@@ -446,6 +543,16 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 	return rep, shardErr
 }
 
+// traceSetter returns the backend's trace-context carrier, nil when the
+// backend is nil or does not carry one (a plain directory store).
+func traceSetter(b store.Backend) obs.TraceContextSetter {
+	if b == nil {
+		return nil
+	}
+	s, _ := b.(obs.TraceContextSetter)
+	return s
+}
+
 // shardOffset resolves the starting index of a sweep's shard walk:
 // the explicit Options.ShardOffset normalised into [0, n), or — in
 // auto mode — the first shard the store shows as neither cached nor
@@ -493,7 +600,9 @@ func GCAtWatermark(b store.Backend, watermark int64) (*store.GCStats, bool, erro
 
 // runShard resolves one shard: store lookup, claim (in lease mode),
 // compute on miss, persist.
-func (w *sweeper) runShard(sh *Shard) error {
+func (w *sweeper) runShard(sh *Shard, idx int) error {
+	span := w.shardSpan(sh, idx)
+	defer span.End()
 	var cfg core.Config
 	if w.opts.Config != nil {
 		cfg = w.opts.Config(sh.Profile)
@@ -501,26 +610,33 @@ func (w *sweeper) runShard(sh *Shard) error {
 	if w.opts.Store != nil {
 		k, err := store.ProfileKey(sh.Profile, cfg)
 		if err != nil {
+			span.SetAttr("outcome", "error")
 			return err
 		}
 		sh.Key = k
-		if res, ok := w.opts.Store.Get(k); ok {
+		t0 := time.Now()
+		res, ok := w.opts.Store.Get(k)
+		sh.StoreNs += time.Since(t0).Nanoseconds()
+		if ok {
+			span.Event("store.hit")
+			span.SetAttr("outcome", "cache")
 			sh.Result = res
 			sh.FromCache = true
 			w.hits.Add(1)
 			return nil
 		}
+		span.Event("store.miss")
 		if w.opts.LeaseTTL > 0 {
-			return w.claimAndRun(sh, cfg)
+			return w.claimAndRun(sh, cfg, span)
 		}
 	}
-	return w.computeAndPersist(sh, cfg, nil)
+	return w.computeAndPersist(sh, cfg, nil, span)
 }
 
 // claimAndRun is the cross-process loop: claim the shard's lease and
 // compute, or wait on a live peer's claim until its result lands in the
 // store, stealing the claim if the peer's lease expires first.
-func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
+func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config, span *obs.Span) error {
 	st := w.opts.Store
 	poll := w.opts.WaitPoll
 	if poll <= 0 {
@@ -535,40 +651,56 @@ func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
 				// peer may duplicate this shard, but campaigns are
 				// deterministic, so duplicated work writes identical bytes
 				// — never a wrong result, and never a lost shard.
+				span.Event("degrade.unleased")
 				w.degraded.Add(1)
-				return w.computeAndPersist(sh, cfg, nil)
+				return w.computeAndPersist(sh, cfg, nil, span)
 			}
 			return fmt.Errorf("claim: %w", err)
 		}
 		if ok {
+			span.Event("claim")
 			w.claimed.Add(1)
 			if lease.Stolen() {
+				span.Event("steal")
 				w.stolen.Add(1)
 			}
 			// The previous holder may have finished between our miss and
 			// this claim; a hit here is its result, not a wasted claim.
-			if res, hit := st.Get(sh.Key); hit {
+			t0 := time.Now()
+			res, hit := st.Get(sh.Key)
+			sh.StoreNs += time.Since(t0).Nanoseconds()
+			if hit {
 				_ = lease.Release()
+				span.Event("store.hit")
+				span.SetAttr("outcome", "cache")
 				sh.Result = res
 				sh.FromCache = true
 				w.hits.Add(1)
 				return nil
 			}
-			return w.computeAndPersist(sh, cfg, lease)
+			return w.computeAndPersist(sh, cfg, lease, span)
 		}
 		// A live peer holds the claim: its result will appear in the
 		// store, or its lease will expire and the claim attempt above
 		// will steal. Either way the shard resolves.
 		if !waitedHere {
 			waitedHere = true
+			span.Event("wait")
 			w.waited.Add(1)
 		}
 		if w.failed.Load() {
 			return errAborted
 		}
+		t0 := time.Now()
 		time.Sleep(poll)
+		sh.WaitNs += time.Since(t0).Nanoseconds()
 		if st.Has(sh.Key) {
-			if res, hit := st.Get(sh.Key); hit {
+			t1 := time.Now()
+			res, hit := st.Get(sh.Key)
+			sh.StoreNs += time.Since(t1).Nanoseconds()
+			if hit {
+				span.Event("store.hit")
+				span.SetAttr("outcome", "peer")
 				sh.Result = res
 				sh.FromCache = true
 				w.hits.Add(1)
@@ -583,12 +715,15 @@ func (w *sweeper) claimAndRun(sh *Shard, cfg core.Config) error {
 // computeAndPersist runs the shard and writes it through, renewing the
 // lease (when one is held) at half-TTL so a long campaign is not stolen
 // mid-compute.
-func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease store.LeaseHandle) error {
+func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease store.LeaseHandle, span *obs.Span) error {
 	var stopRenew func()
 	if lease != nil {
 		stopRenew = renewLoop(lease, w.opts.LeaseTTL)
 	}
+	span.Event("compute")
+	t0 := time.Now()
 	res, err := w.opts.Run(sh.Profile, cfg)
+	sh.ComputeNs = time.Since(t0).Nanoseconds()
 	if stopRenew != nil {
 		stopRenew()
 	}
@@ -596,10 +731,12 @@ func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease store.Leas
 		defer lease.Release()
 	}
 	if err != nil {
+		span.SetAttr("outcome", "error")
 		return err
 	}
 	sh.Result = res
 	w.computed.Add(1)
+	span.SetAttr("outcome", "computed")
 	if w.opts.Store != nil {
 		// A failed write means the store the caller asked for is broken
 		// (full disk, bad permissions); surfacing it beats silently
@@ -607,12 +744,31 @@ func (w *sweeper) computeAndPersist(sh *Shard, cfg core.Config, lease store.Leas
 		// says otherwise, in which case the result stays in the report
 		// (this process loses nothing) and only the shared tier misses
 		// it until a future sweep recomputes or reconciles.
-		if err := w.opts.Store.Put(sh.Key, res); err != nil {
+		var deferredBefore int64
+		r, resilient := w.opts.Store.(store.Resilient)
+		if resilient {
+			deferredBefore = r.Resilience().Deferred
+		}
+		span.Event("put")
+		t1 := time.Now()
+		err := w.opts.Store.Put(sh.Key, res)
+		sh.StoreNs += time.Since(t1).Nanoseconds()
+		if err != nil {
 			if w.degrade {
+				span.Event("degrade.unpersisted")
 				w.degraded.Add(1)
 				return nil
 			}
 			return fmt.Errorf("persist: %w", err)
+		}
+		// A Put that the resilient tier absorbed locally (journal + defer)
+		// succeeded from this shard's view but has not reached the remote;
+		// mark it so the trace shows which shards ride the journal. The
+		// counter is backend-global, so under concurrent workers the event
+		// can land on a sibling shard's span — a diagnostic marker, not a
+		// ledger (Report.Deferred is the ledger).
+		if resilient && r.Resilience().Deferred > deferredBefore {
+			span.Event("put.deferred")
 		}
 	}
 	return nil

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// Perfetto and chrome://tracing ingest). Complete spans are ph:"X"
+// with a duration; span events are ph:"i" instants scoped to their
+// thread. Timestamps are microseconds from tracer start.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every finished span as Chrome trace_event
+// JSON: one ph:"X" complete event per span (args carry the trace/span
+// IDs and attrs, so a span in the viewer links back to server-side
+// /debug/ops records) and one ph:"i" instant per span event. Load the
+// file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)*2), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		args := make(map[string]string, len(s.Attrs)+3)
+		args["trace_id"] = s.Context.TraceID.String()
+		args["span_id"] = s.Context.SpanID.String()
+		if !s.Parent.IsZero() {
+			args["parent_id"] = s.Parent.String()
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    float64(s.Start.Microseconds()),
+			Dur:   maxf(float64((s.End - s.Start).Microseconds()), 1), // zero-width spans vanish in viewers
+			PID:   1,
+			TID:   s.TID,
+			Args:  args,
+		})
+		for _, ev := range s.Events {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  ev.Name,
+				Phase: "i",
+				TS:    float64(ev.At.Microseconds()),
+				PID:   1,
+				TID:   s.TID,
+				Scope: "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns an injectable clock advancing 1ms per reading.
+func fakeClock() func() time.Duration {
+	var ticks time.Duration
+	return func() time.Duration {
+		ticks += time.Millisecond
+		return ticks
+	}
+}
+
+func TestSeededIDsDeterministic(t *testing.T) {
+	a := New(Options{Seed: 42})
+	b := New(Options{Seed: 42})
+	sa := a.StartRoot("x")
+	sb := b.StartRoot("x")
+	if sa.Context() != sb.Context() {
+		t.Fatalf("same seed, different contexts: %+v vs %+v", sa.Context(), sb.Context())
+	}
+	c := New(Options{Seed: 43})
+	if sc := c.StartRoot("x"); sc.Context() == sa.Context() {
+		t.Fatalf("different seeds produced identical context %+v", sc.Context())
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{Seed: 7})
+	sp := tr.StartRoot("op")
+	hdr := sp.Context().Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("malformed traceparent %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sp.Context() {
+		t.Fatalf("round trip: got %+v ok=%v want %+v", got, ok, sp.Context())
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff is invalid
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319cXb7ad6b7169203331-01", // wrong separator
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01extra",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// A future version with trailing fields still parses.
+	if _, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extrafield"); !ok {
+		t.Errorf("future-versioned traceparent rejected")
+	}
+}
+
+func TestSpanTreeAndEvents(t *testing.T) {
+	tr := New(Options{Seed: 1, Clock: fakeClock()})
+	root := tr.StartRoot("sweep")
+	child := tr.StartSpan("shard", root.Context())
+	child.SetTID(3)
+	child.SetAttr("profile", "a100/0")
+	child.Event("claim")
+	child.Event("compute")
+	child.End()
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	sh := spans[0]
+	if sh.Name != "shard" || sh.Parent != root.Context().SpanID || sh.TID != 3 {
+		t.Fatalf("shard span wrong: %+v", sh)
+	}
+	if sh.Context.TraceID != root.Context().TraceID {
+		t.Fatalf("child did not inherit trace id")
+	}
+	if len(sh.Events) != 2 || sh.Events[0].Name != "claim" || sh.Events[1].Name != "compute" {
+		t.Fatalf("events wrong: %+v", sh.Events)
+	}
+	if !(sh.Start < sh.Events[0].At && sh.Events[0].At < sh.Events[1].At && sh.Events[1].At < sh.End) {
+		t.Fatalf("timestamps not monotonic: %+v", sh)
+	}
+	if len(sh.Attrs) != 1 || sh.Attrs[0] != (Attr{"profile", "a100/0"}) {
+		t.Fatalf("attrs wrong: %+v", sh.Attrs)
+	}
+}
+
+func TestStartSpanInvalidParentBecomesRoot(t *testing.T) {
+	tr := New(Options{Seed: 1})
+	sp := tr.StartSpan("orphan", SpanContext{})
+	if !sp.Context().Valid() {
+		t.Fatalf("orphan span has invalid context")
+	}
+	sp.End()
+	if rec := tr.Snapshot()[0]; !rec.Parent.IsZero() {
+		t.Fatalf("orphan span has parent %v", rec.Parent)
+	}
+}
+
+func TestResetReusesSpans(t *testing.T) {
+	tr := New(Options{Seed: 1})
+	s1 := tr.StartRoot("a")
+	s1.Event("e")
+	s1.End()
+	tr.Reset()
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("snapshot after reset has %d spans", n)
+	}
+	s2 := tr.StartRoot("b")
+	if len(s2.events) != 0 {
+		t.Fatalf("recycled span kept stale events: %+v", s2.events)
+	}
+	s2.End()
+	if got := tr.Snapshot(); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("post-reset snapshot wrong: %+v", got)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := New(Options{Seed: 9, Clock: fakeClock()})
+	root := tr.StartRoot("sweep")
+	sh := tr.StartSpan("shard", root.Context())
+	sh.SetTID(1)
+	sh.Event("compute")
+	sh.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, instant int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			args, _ := ev["args"].(map[string]any)
+			if args["trace_id"] != root.Context().TraceID.String() {
+				t.Fatalf("span event missing trace_id: %+v", ev)
+			}
+		case "i":
+			instant++
+		}
+	}
+	if complete != 2 || instant != 1 {
+		t.Fatalf("got %d complete + %d instant events, want 2 + 1", complete, instant)
+	}
+}
+
+// TestNilTracerZeroAllocs pins the tracing-off contract: with a nil
+// tracer the whole span API — start, attrs, events, end — is zero
+// allocations and therefore free on sweep hot paths.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("op", SpanContext{})
+		sp.SetTID(1)
+		sp.SetAttr("k", "v")
+		sp.Event("e")
+		if sp.Context().Valid() {
+			t.Fatal("nil span has valid context")
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer span path allocates %.1f/op, want 0", allocs)
+	}
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Reset()
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot not nil")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Options{Seed: 5})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartRoot("g")
+				sp.Event("e")
+				sp.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if n := len(tr.Snapshot()); n != 8*200 {
+		t.Fatalf("got %d spans, want %d", n, 8*200)
+	}
+}

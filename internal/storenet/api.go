@@ -22,6 +22,21 @@
 //	POST /v1/gc                       → {max_bytes, max_age_ns} ⇒ GCStats
 //	GET  /healthz | /readyz           → liveness / readiness probes (token-free)
 //	GET  /metrics                     → Prometheus text: store gauges + per-endpoint request/latency histograms (token-free)
+//	GET  /debug/ops                   → flight recorder: last N /v1 requests as JSON (admin scope)
+//	*    /debug/pprof/...             → runtime profiles: index, cmdline, profile, symbol, trace (admin scope)
+//
+// # Trace propagation
+//
+// Every request MAY carry a W3C traceparent header
+// ("00-<trace-id>-<parent-id>-01"); clients built with a live
+// obs.Tracer send one per operation. The daemon extracts it, annotates
+// its request log and the /debug/ops flight recorder with the trace
+// identity, and otherwise ignores it — the header is optional,
+// malformed values are dropped silently, and no response depends on
+// it, so adding propagation needed no /v1 bump. A deferred Put's
+// reconcile replay re-sends the traceparent journaled at deferral
+// time, so even minutes-late writes attribute to the sweep that
+// produced them.
 //
 // # Auth and quotas
 //
@@ -176,7 +191,10 @@ type indexResponse struct {
 // (compressed) size; RawBytes is the canonical (uncompressed) total
 // the index has recorded, and CompressionRatio their quotient (0 until
 // both are known). Leases is the lease churn this daemon instance has
-// arbitrated.
+// arbitrated. LatencyP50Ns/LatencyP99Ns are request-latency quantile
+// estimates across all endpoints since start (histogram bucket upper
+// bounds, biased high by at most one bucket; 0 until any request has
+// been observed) — the same numbers the -stats-every log line prints.
 type Stats struct {
 	API              int            `json:"api"`
 	Schema           int            `json:"schema"`
@@ -186,6 +204,8 @@ type Stats struct {
 	CompressionRatio float64        `json:"compression_ratio"`
 	Counters         store.Counters `json:"counters"`
 	Leases           LeaseStats     `json:"leases"`
+	LatencyP50Ns     int64          `json:"latency_p50_ns"`
+	LatencyP99Ns     int64          `json:"latency_p99_ns"`
 }
 
 // gcRequest is a store.GCPolicy on the wire; the response is the

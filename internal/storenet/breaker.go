@@ -32,10 +32,43 @@ type breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time // injectable clock for tests
 
+	// onTransition, when set, observes every state edge with the
+	// consecutive-failure count at the moment of the transition. It is
+	// called under the breaker lock: keep it cheap (count + log) and
+	// never reenter the breaker from it. Set once, before first use.
+	onTransition func(from, to int, fails int)
+
 	mu       sync.Mutex
 	state    int
 	fails    int
 	openedAt time.Time
+}
+
+// breakerStateName renders a breaker state for logs and telemetry.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// transition moves the state machine and notifies the observer. Caller
+// holds b.mu.
+func (b *breaker) transition(to int) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to, b.fails)
+	}
 }
 
 func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
@@ -67,7 +100,7 @@ func (b *breaker) allow() bool {
 		return true
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = breakerHalfOpen
+			b.transition(breakerHalfOpen)
 			return true
 		}
 		return false
@@ -87,7 +120,7 @@ func (b *breaker) record(ok bool) (recovered bool) {
 	defer b.mu.Unlock()
 	if ok {
 		recovered = b.state != breakerClosed
-		b.state = breakerClosed
+		b.transition(breakerClosed)
 		b.fails = 0
 		return recovered
 	}
@@ -98,7 +131,7 @@ func (b *breaker) record(ok bool) (recovered bool) {
 	// tripped) change nothing — they are evidence of the same outage,
 	// not a new one, and must not extend the cooldown.
 	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
-		b.state = breakerOpen
+		b.transition(breakerOpen)
 		b.openedAt = b.now()
 	}
 	return false
@@ -110,6 +143,6 @@ func (b *breaker) record(ok bool) (recovered bool) {
 func (b *breaker) reset() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = breakerClosed
+	b.transition(breakerClosed)
 	b.fails = 0
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"golatest/internal/core"
+	"golatest/internal/obs"
 	"golatest/internal/store"
 )
 
@@ -45,12 +47,17 @@ var ErrAuth = errors.New("storenet: rejected by daemon auth (check ClientOptions
 // very quota the daemon is enforcing.
 var ErrRateLimited = errors.New("storenet: rate limited by daemon")
 
-// Write-behind journal layout: one empty marker file per deferred
-// digest, in a subdirectory of the cache store's directory. The store's
-// own scans (manifest rebuild, GC, blob counting) skip directories, so
-// the journal is invisible to the local tier's machinery; the blob
-// bytes themselves live in the cache as ordinary blobs, the marker only
-// records "the daemon has not seen this one yet".
+// Write-behind journal layout: one marker file per deferred digest, in
+// a subdirectory of the cache store's directory. The store's own scans
+// (manifest rebuild, GC, blob counting) skip directories, so the
+// journal is invisible to the local tier's machinery; the blob bytes
+// themselves live in the cache as ordinary blobs, the marker only
+// records "the daemon has not seen this one yet". The marker body is
+// the deferring request's W3C traceparent (or empty when tracing was
+// off), so a reconcile replay — possibly minutes later, possibly from
+// a different process — still carries the originating sweep's trace ID
+// and the daemon's /debug/ops ring attributes the late write to the
+// sweep that produced it.
 const (
 	pendingDirName = "pending"
 	pendingSuffix  = ".pend"
@@ -119,15 +126,35 @@ type Client struct {
 	// and thus every backoff schedule — reproducible in tests.
 	jstate atomic.Uint64
 
-	// pendingDir is the write-behind journal: one empty marker file per
+	// pendingDir is the write-behind journal: one marker file per
 	// deferred digest, persisted inside the cache directory so an
 	// interrupted process's deferred writes survive to the next
 	// Reconcile (the experiments -reconcile flag).
 	pendingDir  string
 	reconcileMu sync.Mutex
 
+	// tracer records one client span per wire operation; nil (the
+	// default) keeps the whole span path at zero cost. tctx is the
+	// ambient parent — the sweep root span's context, handed over by
+	// fleet.Sweep through SetTraceContext — under which request spans
+	// are parented and whose traceparent rides every request.
+	tracer *obs.Tracer
+	tctx   atomic.Pointer[obs.SpanContext]
+
+	// log receives breaker state edges and reconcile outcomes; defaults
+	// to discard. lastErr remembers the most recent failed attempt's
+	// error text so a breaker-open log line can say what broke.
+	log     *slog.Logger
+	lastErr atomic.Pointer[string]
+
 	hits, misses, corrupt, puts             atomic.Int64
 	degraded, deferred, reconciled, pending atomic.Int64
+
+	// Telemetry counters beyond the Backend Counters contract — see
+	// Telemetry().
+	retryCount, rateLimited                atomic.Int64
+	brOpened, brHalfOpened, brClosed       atomic.Int64
+	decodePasses, bytesSent, bytesReceived atomic.Int64
 }
 
 // ClientOptions configures a Client; the zero value works.
@@ -167,6 +194,16 @@ type ClientOptions struct {
 	// what keeps fault-injection tests deterministic. 0 is a valid
 	// seed.
 	Seed uint64
+	// Tracer, when non-nil, records one client span per wire operation
+	// (get/put/head/lease/...) and stamps every request with a W3C
+	// traceparent header so the daemon's logs, latency observations and
+	// /debug/ops flight recorder correlate with this client's spans.
+	// nil means tracing off, at zero cost on every path.
+	Tracer *obs.Tracer
+	// Logger receives operational edges — breaker open/half-open/close
+	// transitions (with consecutive-failure count and last error) and
+	// reconcile outcomes. nil discards.
+	Logger *slog.Logger
 }
 
 var (
@@ -217,6 +254,10 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 	if opts.Token != "" {
 		auth = "Bearer " + opts.Token
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	c := &Client{
 		base:       strings.TrimRight(u.String(), "/"),
 		hc:         hc,
@@ -226,6 +267,37 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 		backoff:    backoff,
 		reqTimeout: reqTimeout,
 		br:         newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, nil),
+		tracer:     opts.Tracer,
+		log:        logger,
+	}
+	// Breaker state edges were previously silent — an operator learned
+	// the circuit had opened only from a wall of ErrUnavailable. Log
+	// every edge with the evidence (consecutive failures, last error)
+	// and count them for Telemetry(). The hook runs under the breaker
+	// lock, so it only counts and logs.
+	c.br.onTransition = func(from, to int, fails int) {
+		switch to {
+		case breakerOpen:
+			c.brOpened.Add(1)
+		case breakerHalfOpen:
+			c.brHalfOpened.Add(1)
+		case breakerClosed:
+			c.brClosed.Add(1)
+		}
+		lastErr := ""
+		if p := c.lastErr.Load(); p != nil {
+			lastErr = *p
+		}
+		lvl := slog.LevelInfo
+		if to == breakerOpen {
+			lvl = slog.LevelWarn
+		}
+		c.log.Log(context.Background(), lvl, "storenet: breaker state change",
+			"base", c.base,
+			"from", breakerStateName(from),
+			"to", breakerStateName(to),
+			"consecutive_failures", fails,
+			"last_error", lastErr)
 	}
 	c.jstate.Store(opts.Seed ^ 0x9e3779b97f4a7c15)
 	if opts.Cache != nil {
@@ -246,6 +318,37 @@ func NewClient(baseURL string, opts ClientOptions) (*Client, error) {
 
 // Location implements Backend: a remote store is located at its URL.
 func (c *Client) Location() string { return c.base }
+
+// SetTraceContext implements obs.TraceContextSetter: it installs the
+// ambient parent (typically a sweep's root span context) under which
+// subsequent request spans are created and propagated. The zero
+// context clears it. Safe for concurrent use; store.Backend carries no
+// context parameter, so this is how a trace crosses the Backend seam.
+func (c *Client) SetTraceContext(sc obs.SpanContext) {
+	if sc.Valid() {
+		c.tctx.Store(&sc)
+	} else {
+		c.tctx.Store(nil)
+	}
+}
+
+// traceParent is the ambient parent context for new request spans.
+func (c *Client) traceParent() obs.SpanContext {
+	if p := c.tctx.Load(); p != nil {
+		return *p
+	}
+	return obs.SpanContext{}
+}
+
+// startSpan opens one client span for a wire operation under the
+// ambient trace context. Returns nil (free everywhere downstream) when
+// tracing is off.
+func (c *Client) startSpan(op string) *obs.Span {
+	if c.tracer == nil {
+		return nil
+	}
+	return c.tracer.StartSpan(op, c.traceParent())
+}
 
 func (c *Client) blobURL(digest string) string {
 	return c.base + apiPrefix + "/blobs/" + url.PathEscape(digest)
@@ -283,7 +386,7 @@ func (c *Client) jitter(max time.Duration) time.Duration {
 // cancel must run once the attempt's response is fully consumed —
 // success paths hand it to cancelBody (fired on Body.Close), failure
 // paths call it directly.
-func (c *Client) newAttempt(method, u string, body []byte, rawEncoding bool) (*http.Request, context.CancelFunc, error) {
+func (c *Client) newAttempt(method, u string, body []byte, rawEncoding bool, traceparent string) (*http.Request, context.CancelFunc, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
 	var rd io.Reader
 	if body != nil {
@@ -296,6 +399,9 @@ func (c *Client) newAttempt(method, u string, body []byte, rawEncoding bool) (*h
 	}
 	if c.auth != "" {
 		req.Header.Set("Authorization", c.auth)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
 	}
 	if rawEncoding {
 		req.Header.Set("Accept-Encoding", "gzip")
@@ -336,8 +442,13 @@ func (b cancelBody) Close() error {
 // recordAttempt feeds the breaker and, on the open→closed recovery
 // edge, kicks the background reconciler when deferred writes are
 // waiting — the "heal the remote when it returns" half of degraded
-// mode, with no operator in the loop.
-func (c *Client) recordAttempt(ok bool) {
+// mode, with no operator in the loop. cause (nil on success) is
+// remembered so the breaker's transition log can name what broke.
+func (c *Client) recordAttempt(ok bool, cause error) {
+	if cause != nil {
+		s := cause.Error()
+		c.lastErr.Store(&s)
+	}
 	if c.br.record(ok) && c.pending.Load() > 0 {
 		go func() { _, _ = c.Reconcile() }()
 	}
@@ -351,6 +462,13 @@ func (c *Client) recordAttempt(ok bool) {
 // refusal. While the circuit breaker is open the whole call fails
 // immediately with ErrUnavailable — no connection, no sleep.
 //
+// span, when non-nil, is the caller's client span for this logical
+// operation: its context rides every attempt as the traceparent header
+// (so the daemon's records correlate back to it) and retry/throttle
+// edges are recorded on it as events. parent overrides the propagated
+// context when span is nil — the reconcile replay path uses it to
+// carry a journaled marker's original trace even when tracing is off.
+//
 // rawEncoding (blob requests only) sets Accept-Encoding explicitly,
 // which (per net/http) disables the transport's transparent
 // decompression: the blob body arrives as the raw compressed container
@@ -359,10 +477,18 @@ func (c *Client) recordAttempt(ok bool) {
 // Control-plane requests leave the header to the transport, so their
 // JSON survives any gzip a reverse proxy in front of the daemon may
 // add (the transport inflates it transparently).
-func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (*http.Response, error) {
+func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool, span *obs.Span, parent obs.SpanContext) (*http.Response, error) {
+	traceparent := ""
+	if span != nil {
+		traceparent = span.Context().Traceparent()
+	} else if parent.Valid() {
+		traceparent = parent.Traceparent()
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 {
+			c.retryCount.Add(1)
+			span.Event("retry")
 			d := c.backoff << (attempt - 1)
 			time.Sleep(d + c.jitter(d/2))
 		}
@@ -370,24 +496,26 @@ func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (
 			// Fail the operation, not just the attempt: the remaining
 			// retries would fast-fail identically, and sleeping between
 			// them is exactly the stall the breaker exists to remove.
+			span.Event("breaker.fastfail")
 			return nil, fmt.Errorf("storenet: %s %s: %w", method, u, ErrUnavailable)
 		}
-		req, cancel, err := c.newAttempt(method, u, body, rawEncoding)
+		req, cancel, err := c.newAttempt(method, u, body, rawEncoding, traceparent)
 		if err != nil {
 			return nil, err
 		}
+		c.bytesSent.Add(int64(len(body)))
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			cancel()
-			c.recordAttempt(false)
+			c.recordAttempt(false, err)
 			lastErr = err
 			continue
 		}
 		if resp.StatusCode >= 500 {
-			drain(resp)
+			c.drain(resp)
 			cancel()
-			c.recordAttempt(false)
 			lastErr = fmt.Errorf("storenet: %s %s: %s", method, u, resp.Status)
+			c.recordAttempt(false, lastErr)
 			continue
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
@@ -397,17 +525,19 @@ func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (
 			// circuit here would turn a quota into a fake outage (and,
 			// with a local tier, shunt writes into the pending journal,
 			// which a quota refusal must never reach).
+			c.rateLimited.Add(1)
+			span.Event("ratelimited")
 			wait := retryAfterDelay(resp)
-			drain(resp)
+			c.drain(resp)
 			cancel()
-			c.recordAttempt(true)
+			c.recordAttempt(true, nil)
 			lastErr = fmt.Errorf("storenet: %s %s: %s: %w", method, u, resp.Status, ErrRateLimited)
 			if attempt < c.retries-1 {
 				time.Sleep(wait)
 			}
 			continue
 		}
-		c.recordAttempt(true)
+		c.recordAttempt(true, nil)
 		resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
 		return resp, nil
 	}
@@ -421,12 +551,13 @@ func (c *Client) doIdempotent(method, u string, body []byte, rawEncoding bool) (
 // is open a claim fast-fails with ErrUnavailable — which the fleet's
 // degrade policy turns into an unleased recompute instead of an
 // aborted sweep.
-func (c *Client) doOnce(u string, body any) (*http.Response, error) {
+func (c *Client) doOnce(u string, body any, span *obs.Span) (*http.Response, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
 	if !c.br.allow() {
+		span.Event("breaker.fastfail")
 		return nil, fmt.Errorf("storenet: POST %s: %w", u, ErrUnavailable)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
@@ -439,15 +570,19 @@ func (c *Client) doOnce(u string, body any) (*http.Response, error) {
 	if c.auth != "" {
 		req.Header.Set("Authorization", c.auth)
 	}
+	if tp := span.Context().Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	c.bytesSent.Add(int64(len(data)))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		cancel()
-		c.recordAttempt(false)
+		c.recordAttempt(false, err)
 		return nil, err
 	}
 	// Any response is a live daemon — a 409 busy lease is the protocol
 	// working, not a failure.
-	c.recordAttempt(true)
+	c.recordAttempt(true, nil)
 	resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
 	return resp, nil
 }
@@ -472,8 +607,9 @@ func retryAfterDelay(resp *http.Response) time.Duration {
 
 // drain discards and closes a response body so the connection returns
 // to the keep-alive pool instead of being torn down.
-func drain(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxControlBytes))
+func (c *Client) drain(resp *http.Response) {
+	n, _ := io.Copy(io.Discard, io.LimitReader(resp.Body, maxControlBytes))
+	c.bytesReceived.Add(n)
 	resp.Body.Close()
 }
 
@@ -481,9 +617,11 @@ func drain(resp *http.Response) {
 // — including 404 messages and JSON with a trailing newline — must be
 // consumed to EOF, or the transport discards the connection instead of
 // pooling it and each subsequent request pays a fresh handshake.
-func readBody(resp *http.Response, limit int64) ([]byte, error) {
+func (c *Client) readBody(resp *http.Response, limit int64) ([]byte, error) {
 	defer resp.Body.Close()
-	return io.ReadAll(io.LimitReader(resp.Body, limit))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	c.bytesReceived.Add(int64(len(data)))
+	return data, err
 }
 
 // bodyBufs recycles blob-body buffers across warm Gets. The buffer's
@@ -506,9 +644,10 @@ func putBodyBuf(buf *bytes.Buffer) {
 
 // readBodyInto drains the (bounded) body into buf and closes it,
 // reporting a transfer that died mid-body.
-func readBodyInto(buf *bytes.Buffer, resp *http.Response, limit int64) error {
+func (c *Client) readBodyInto(buf *bytes.Buffer, resp *http.Response, limit int64) error {
 	defer resp.Body.Close()
-	_, err := buf.ReadFrom(io.LimitReader(resp.Body, limit))
+	n, err := buf.ReadFrom(io.LimitReader(resp.Body, limit))
+	c.bytesReceived.Add(n)
 	return err
 }
 
@@ -530,13 +669,18 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 			return res, true
 		}
 	}
-	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(k.Digest), nil, true)
+	span := c.startSpan("storenet.get")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(k.Digest), nil, true, span, obs.SpanContext{})
 	if err != nil {
 		if errors.Is(err, ErrUnavailable) {
 			// Degraded read: the local tier (checked above) was the whole
 			// answer. A miss here is recoverable — the caller recomputes —
 			// and it cost microseconds instead of a timeout.
 			c.degraded.Add(1)
+			span.SetAttr("outcome", "degraded")
+		} else {
+			span.SetAttr("outcome", "error")
 		}
 		c.misses.Add(1)
 		return nil, false
@@ -544,21 +688,25 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	buf := bodyBufs.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer putBodyBuf(buf)
-	readErr := readBodyInto(buf, resp, maxBlobBytes)
+	readErr := c.readBodyInto(buf, resp, maxBlobBytes)
 	if resp.StatusCode != http.StatusOK {
 		c.misses.Add(1)
+		span.SetAttr("outcome", "miss")
 		return nil, false
 	}
 	if readErr != nil {
 		// The transfer died mid-body: treat as a miss, recompute, heal.
 		c.corrupt.Add(1)
 		c.misses.Add(1)
+		span.SetAttr("outcome", "corrupt")
 		return nil, false
 	}
+	c.decodePasses.Add(1)
 	vb, err := store.ValidateBlobBytes(buf.Bytes(), k.Digest)
 	if err != nil {
 		c.corrupt.Add(1)
 		c.misses.Add(1)
+		span.SetAttr("outcome", "corrupt")
 		return nil, false
 	}
 	if c.cache != nil {
@@ -569,6 +717,7 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 		_ = c.cache.PutValidated(vb)
 	}
 	c.hits.Add(1)
+	span.SetAttr("outcome", "hit")
 	return vb.Result(), true
 }
 
@@ -592,18 +741,20 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 	if err != nil {
 		return fmt.Errorf("storenet: encode %s: %w", k, err)
 	}
-	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data, true)
+	span := c.startSpan("storenet.put")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data, true, span, obs.SpanContext{})
 	if err != nil {
 		// Only infrastructure failures (transport, 5xx, open breaker)
 		// defer; a rate-limit refusal is the daemon telling this tenant
 		// to slow down, and journaling the write would smuggle it past
 		// the quota at reconcile time.
 		if c.cache != nil && !errors.Is(err, ErrRateLimited) {
-			return c.deferPut(k, data, err)
+			return c.deferPut(k, data, err, span)
 		}
 		return fmt.Errorf("storenet: put %s: %w", k, err)
 	}
-	drain(resp)
+	c.drain(resp)
 	if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
 		// Terminal: the daemon saw the request and refused the
 		// credential. Never retried (the refusal is deterministic),
@@ -621,16 +772,16 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 		if perr != nil {
 			return fmt.Errorf("storenet: encode %s: %w", k, perr)
 		}
-		if resp, err = c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), plain, true); err != nil {
+		if resp, err = c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), plain, true, span, obs.SpanContext{}); err != nil {
 			if c.cache != nil && !errors.Is(err, ErrRateLimited) {
 				// The daemon vanished between the refusal and the
 				// fallback; journal the v3 container — the local tier's
 				// native format — and let Reconcile sort it out.
-				return c.deferPut(k, data, err)
+				return c.deferPut(k, data, err, span)
 			}
 			return fmt.Errorf("storenet: put %s: %w", k, err)
 		}
-		drain(resp)
+		c.drain(resp)
 		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("storenet: put %s: %s (v3) then %s (identity fallback)",
 				k, firstStatus, resp.Status)
@@ -650,14 +801,21 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 // then journal it for replay. Both steps must succeed for the Put to
 // count as durable — a blob we could neither send nor keep is a real
 // write failure and surfaces as one (wrapping cause, the network error
-// that forced the deferral).
-func (c *Client) deferPut(k store.Key, data []byte, cause error) error {
+// that forced the deferral). The deferring operation's span context is
+// journaled with the marker so the eventual replay still carries the
+// originating sweep's trace ID.
+func (c *Client) deferPut(k store.Key, data []byte, cause error, span *obs.Span) error {
 	if err := c.cache.PutRaw(k.Digest, data); err != nil {
 		return fmt.Errorf("storenet: put %s: remote %v; local tier: %w", k, cause, err)
 	}
-	if err := c.markPending(k.Digest); err != nil {
+	sc := span.Context()
+	if !sc.Valid() {
+		sc = c.traceParent()
+	}
+	if err := c.markPending(k.Digest, sc.Traceparent()); err != nil {
 		return fmt.Errorf("storenet: put %s: remote %v; journal: %w", k, cause, err)
 	}
+	span.Event("defer")
 	c.deferred.Add(1)
 	c.puts.Add(1)
 	return nil
@@ -666,8 +824,10 @@ func (c *Client) deferPut(k store.Key, data []byte, cause error) error {
 // markPending records a digest in the write-behind journal. O_EXCL
 // makes the marker idempotent per digest: re-deferring a blob already
 // journaled (same content, content-addressed) is a no-op and the
-// pending gauge counts files, not events.
-func (c *Client) markPending(digest string) error {
+// pending gauge counts files, not events. The marker body is the
+// deferring request's traceparent ("" when tracing was off) — replay
+// provenance, carried on disk across processes.
+func (c *Client) markPending(digest, traceparent string) error {
 	if err := os.MkdirAll(c.pendingDir, 0o755); err != nil {
 		return err
 	}
@@ -678,6 +838,9 @@ func (c *Client) markPending(digest string) error {
 			return nil
 		}
 		return err
+	}
+	if traceparent != "" {
+		_, _ = f.WriteString(traceparent + "\n")
 	}
 	f.Close()
 	c.pending.Add(1)
@@ -696,6 +859,79 @@ func (c *Client) Resilience() store.ResilienceStats {
 		Reconciled: c.reconciled.Load(),
 		Pending:    c.pending.Load(),
 	}
+}
+
+// Telemetry is a point-in-time snapshot of this client's wire-level
+// behavior since construction. All fields are monotonic counters
+// except Pending (a gauge). The client was previously a telemetry
+// black hole — retries, breaker edges and wire volume happened
+// silently inside doIdempotent; this is the aggregate view the stats
+// line and the Prometheus families fold in.
+type Telemetry struct {
+	// Retries counts retry attempts actually issued (attempt ≥ 2 of an
+	// idempotent request), not sleeps scheduled.
+	Retries int64 `json:"retries"`
+	// RateLimited counts 429 responses honored via Retry-After.
+	RateLimited int64 `json:"rate_limited"`
+	// Breaker edge counts by destination state: how often the circuit
+	// opened (outage detected), admitted a half-open probe, and closed
+	// (recovered or explicitly reset).
+	BreakerOpened   int64 `json:"breaker_opened"`
+	BreakerHalfOpen int64 `json:"breaker_half_open"`
+	BreakerClosed   int64 `json:"breaker_closed"`
+	// DeferredPuts / ReconcileReplays / Pending mirror the degraded
+	// write path: journaled write-behinds, journal entries replayed to
+	// the daemon, and journal entries currently waiting.
+	DeferredPuts     int64 `json:"deferred_puts"`
+	ReconcileReplays int64 `json:"reconcile_replays"`
+	Pending          int64 `json:"pending"`
+	// DecodePasses counts response-body validations this client ran
+	// (each is one decode of a blob container — the "validated exactly
+	// once" invariant makes this equal to remote read traffic).
+	DecodePasses int64 `json:"decode_passes"`
+	// BytesSent / BytesReceived are wire bytes by direction at the
+	// body level (headers excluded): request bodies out, response
+	// bodies in.
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+}
+
+// Telemetry returns the client's wire-level counters.
+func (c *Client) Telemetry() Telemetry {
+	return Telemetry{
+		Retries:          c.retryCount.Load(),
+		RateLimited:      c.rateLimited.Load(),
+		BreakerOpened:    c.brOpened.Load(),
+		BreakerHalfOpen:  c.brHalfOpened.Load(),
+		BreakerClosed:    c.brClosed.Load(),
+		DeferredPuts:     c.deferred.Load(),
+		ReconcileReplays: c.reconciled.Load(),
+		Pending:          c.pending.Load(),
+		DecodePasses:     c.decodePasses.Load(),
+		BytesSent:        c.bytesSent.Load(),
+		BytesReceived:    c.bytesReceived.Load(),
+	}
+}
+
+// WriteProm renders the telemetry as Prometheus text (the same v0.0.4
+// exposition format the daemon's /metrics speaks), for callers that
+// scrape or push client-side metrics. Every family is fixed-label
+// (none), so client cardinality is constant.
+func (t Telemetry) WriteProm(w io.Writer) {
+	write := func(name, help, typ string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	write("storenet_client_retries_total", "Retry attempts issued.", "counter", t.Retries)
+	write("storenet_client_rate_limited_total", "429 responses honored.", "counter", t.RateLimited)
+	write("storenet_client_breaker_opened_total", "Circuit breaker open transitions.", "counter", t.BreakerOpened)
+	write("storenet_client_breaker_half_open_total", "Circuit breaker half-open probes admitted.", "counter", t.BreakerHalfOpen)
+	write("storenet_client_breaker_closed_total", "Circuit breaker close transitions.", "counter", t.BreakerClosed)
+	write("storenet_client_deferred_puts_total", "Puts journaled for write-behind replay.", "counter", t.DeferredPuts)
+	write("storenet_client_reconcile_replays_total", "Journal entries replayed to the daemon.", "counter", t.ReconcileReplays)
+	write("storenet_client_pending_puts", "Journal entries awaiting replay.", "gauge", t.Pending)
+	write("storenet_client_decode_passes_total", "Blob container validations (decodes) run.", "counter", t.DecodePasses)
+	write("storenet_client_bytes_sent_total", "Request body bytes sent.", "counter", t.BytesSent)
+	write("storenet_client_bytes_received_total", "Response body bytes received.", "counter", t.BytesReceived)
 }
 
 // Reconcile replays the write-behind journal to the daemon, returning
@@ -740,21 +976,54 @@ func (c *Client) Reconcile() (int, error) {
 			}
 			continue
 		}
-		resp, err := c.doIdempotent(http.MethodPut, c.blobURL(digest), data, true)
+		// The marker body carries the deferring request's traceparent:
+		// replay under the same trace, so the daemon's /debug/ops ring
+		// attributes the late write to the sweep that produced it. A
+		// live tracer additionally records the replay as a span of that
+		// trace; without one the journaled header rides verbatim.
+		origin := c.markerContext(marker)
+		var span *obs.Span
+		if c.tracer != nil && origin.Valid() {
+			span = c.tracer.StartSpan("storenet.reconcile.put", origin)
+		} else {
+			span = c.startSpan("storenet.reconcile.put")
+		}
+		resp, err := c.doIdempotent(http.MethodPut, c.blobURL(digest), data, true, span, origin)
 		if err != nil {
+			span.SetAttr("outcome", "error")
+			span.End()
 			return replayed, fmt.Errorf("storenet: reconcile %s: %w", digest, err)
 		}
-		drain(resp)
+		c.drain(resp)
 		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			span.SetAttr("outcome", "refused")
+			span.End()
 			return replayed, fmt.Errorf("storenet: reconcile %s: %s", digest, resp.Status)
 		}
 		if os.Remove(marker) == nil {
 			c.pending.Add(-1)
 		}
 		c.reconciled.Add(1)
+		span.SetAttr("outcome", "replayed")
+		span.End()
 		replayed++
 	}
+	if replayed > 0 {
+		c.log.Info("storenet: reconcile replayed deferred writes",
+			"base", c.base, "replayed", replayed, "pending", c.pending.Load())
+	}
 	return replayed, nil
+}
+
+// markerContext parses the span context a pending marker was journaled
+// with; zero when the marker predates tracing or tracing was off.
+func (c *Client) markerContext(marker string) obs.SpanContext {
+	b, err := os.ReadFile(marker)
+	if err != nil {
+		return obs.SpanContext{}
+	}
+	sc, _ := obs.ParseTraceparent(strings.TrimSpace(string(b)))
+	return sc
 }
 
 // Has probes existence without counters: local tier, then a HEAD.
@@ -762,22 +1031,26 @@ func (c *Client) Has(k store.Key) bool {
 	if c.cache != nil && c.cache.Has(k) {
 		return true
 	}
-	resp, err := c.doIdempotent(http.MethodHead, c.blobURL(k.Digest), nil, true)
+	span := c.startSpan("storenet.head")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodHead, c.blobURL(k.Digest), nil, true, span, obs.SpanContext{})
 	if err != nil {
 		return false
 	}
-	drain(resp)
+	c.drain(resp)
 	return resp.StatusCode == http.StatusOK
 }
 
 // Index lists the daemon's manifest — the fleet-wide view, not the
 // local tier's subset. Degrades to empty on failure.
 func (c *Client) Index() []store.ManifestEntry {
-	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/index", nil, false)
+	span := c.startSpan("storenet.index")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/index", nil, false, span, obs.SpanContext{})
 	if err != nil {
 		return nil
 	}
-	data, readErr := readBody(resp, maxBlobBytes)
+	data, readErr := c.readBody(resp, maxBlobBytes)
 	var ix indexResponse
 	if resp.StatusCode != http.StatusOK || readErr != nil || json.Unmarshal(data, &ix) != nil {
 		return nil
@@ -797,11 +1070,13 @@ func (c *Client) Len() int {
 // Stats fetches the daemon's stats endpoint.
 func (c *Client) Stats() (Stats, error) {
 	var st Stats
-	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/stats", nil, false)
+	span := c.startSpan("storenet.stats")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodGet, c.base+apiPrefix+"/stats", nil, false, span, obs.SpanContext{})
 	if err != nil {
 		return st, err
 	}
-	data, readErr := readBody(resp, maxControlBytes)
+	data, readErr := c.readBody(resp, maxControlBytes)
 	if resp.StatusCode != http.StatusOK {
 		return st, fmt.Errorf("storenet: stats: %s", resp.Status)
 	}
@@ -836,11 +1111,13 @@ func (c *Client) TryAcquire(digest, owner string, ttl time.Duration) (store.Leas
 	if ttl <= 0 {
 		return nil, false, fmt.Errorf("storenet: non-positive lease ttl %v", ttl)
 	}
-	resp, err := c.doOnce(c.leaseURL(digest, "acquire"), acquireRequest{Owner: owner, TTLNs: int64(ttl)})
+	span := c.startSpan("storenet.lease.acquire")
+	defer span.End()
+	resp, err := c.doOnce(c.leaseURL(digest, "acquire"), acquireRequest{Owner: owner, TTLNs: int64(ttl)}, span)
 	if err != nil {
 		return nil, false, fmt.Errorf("storenet: acquire %s: %w", digest, err)
 	}
-	data, readErr := readBody(resp, maxControlBytes)
+	data, readErr := c.readBody(resp, maxControlBytes)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var ar acquireResponse
@@ -867,11 +1144,13 @@ func (c *Client) TryAcquire(digest, owner string, ttl time.Duration) (store.Leas
 
 // LeaseHolder peeks at a digest's live claim via the daemon.
 func (c *Client) LeaseHolder(digest string) (string, bool) {
-	resp, err := c.doIdempotent(http.MethodGet, c.leaseURL(digest, ""), nil, false)
+	span := c.startSpan("storenet.lease.peek")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodGet, c.leaseURL(digest, ""), nil, false, span, obs.SpanContext{})
 	if err != nil {
 		return "", false
 	}
-	data, readErr := readBody(resp, maxControlBytes)
+	data, readErr := c.readBody(resp, maxControlBytes)
 	var hr holderResponse
 	if resp.StatusCode != http.StatusOK || readErr != nil || json.Unmarshal(data, &hr) != nil {
 		return "", false
@@ -884,14 +1163,16 @@ func (c *Client) LeaseHolder(digest string) (string, bool) {
 // (it is an ordinary *store.Store).
 func (c *Client) GC(p store.GCPolicy) (store.GCStats, error) {
 	var gs store.GCStats
+	span := c.startSpan("storenet.gc")
+	defer span.End()
 	resp, err := c.doOnce(c.base+apiPrefix+"/gc", gcRequest{
 		MaxBytes: p.MaxBytes,
 		MaxAgeNs: int64(p.MaxAge),
-	})
+	}, span)
 	if err != nil {
 		return gs, fmt.Errorf("storenet: gc: %w", err)
 	}
-	data, readErr := readBody(resp, maxControlBytes)
+	data, readErr := c.readBody(resp, maxControlBytes)
 	if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
 		// GC is the admin-scoped verb, so this is the usual place a
 		// write-scope token discovers its ceiling; terminal like every
@@ -931,12 +1212,14 @@ func (l *remoteLease) Stolen() bool  { return l.stolen }
 // holder keeps computing and at worst one peer duplicates the shard,
 // writing identical bytes.
 func (l *remoteLease) Renew(ttl time.Duration) error {
+	span := l.c.startSpan("storenet.lease.renew")
+	defer span.End()
 	resp, err := l.c.doOnce(l.c.leaseURL(l.digest, "renew"),
-		renewRequest{Owner: l.owner, Token: l.token, TTLNs: int64(ttl)})
+		renewRequest{Owner: l.owner, Token: l.token, TTLNs: int64(ttl)}, span)
 	if err != nil {
 		return fmt.Errorf("storenet: renew %s: %w", l.digest, err)
 	}
-	drain(resp)
+	l.c.drain(resp)
 	if resp.StatusCode != http.StatusNoContent {
 		return fmt.Errorf("storenet: renew %s: lease lost (%s)", l.digest, resp.Status)
 	}
@@ -945,12 +1228,14 @@ func (l *remoteLease) Renew(ttl time.Duration) error {
 
 // Release drops the claim, best-effort and idempotent.
 func (l *remoteLease) Release() error {
+	span := l.c.startSpan("storenet.lease.release")
+	defer span.End()
 	resp, err := l.c.doOnce(l.c.leaseURL(l.digest, "release"),
-		releaseRequest{Owner: l.owner, Token: l.token})
+		releaseRequest{Owner: l.owner, Token: l.token}, span)
 	if err != nil {
 		return fmt.Errorf("storenet: release %s: %w", l.digest, err)
 	}
-	drain(resp)
+	l.c.drain(resp)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
 		return fmt.Errorf("storenet: release %s: %s", l.digest, resp.Status)
 	}

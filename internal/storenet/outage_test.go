@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"golatest/internal/core"
 	"golatest/internal/fleet"
 	"golatest/internal/hwprofile"
+	"golatest/internal/obs"
 	"golatest/internal/store"
 	"golatest/internal/storenet/faults"
 )
@@ -25,13 +27,17 @@ import (
 // shard via the local tier with zero lost shards, (b) account for the
 // outage in the report's Degraded/Deferred counters, and (c) after the
 // daemon returns, reconcile the remote store to blobs byte-identical
-// with the local tier's.
+// with the local tier's — with (d) every reconciled replay carrying the
+// originating sweep's trace ID onto the daemon's flight recorder, even
+// though the replay happens after the sweep (and its ambient trace
+// context) are gone.
 func TestSweepSurvivesStoredOutage(t *testing.T) {
 	backing, err := store.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj := faults.NewInjector(NewServer(backing), faults.Plan{})
+	server := NewServer(backing)
+	inj := faults.NewInjector(server, faults.Plan{})
 	srv := httptest.NewServer(inj)
 	defer srv.Close()
 
@@ -39,6 +45,7 @@ func TestSweepSurvivesStoredOutage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tracer := obs.New(obs.Options{Seed: 11})
 	client, err := NewClient(srv.URL, ClientOptions{
 		Cache:        cache,
 		Retries:      2,
@@ -50,6 +57,7 @@ func TestSweepSurvivesStoredOutage(t *testing.T) {
 		BreakerThreshold: 2,
 		BreakerCooldown:  time.Hour,
 		Seed:             1,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +67,7 @@ func TestSweepSurvivesStoredOutage(t *testing.T) {
 	const killAt = 3 // daemon dies inside the 3rd computed shard
 	var computes atomic.Int64
 	rep, err := fleet.Sweep(profiles, fleet.Options{
+		Tracer: tracer,
 		// Two replicas over six shards guarantee shards still await
 		// their lease claim when the kill fires — on a many-core box an
 		// unbounded pool could claim everything up front and never
@@ -118,6 +127,27 @@ func TestSweepSurvivesStoredOutage(t *testing.T) {
 		t.Fatalf("daemon has %d blobs despite dying mid-sweep", backing.Len())
 	}
 
+	// (d, first half) The journal markers carry the sweep's trace
+	// identity on disk — the provenance a replay in another process (or
+	// after this sweep's ambient context is long cleared) will re-send.
+	if rep.TraceID == "" {
+		t.Fatal("traced sweep reported no TraceID")
+	}
+	markers, err := filepath.Glob(filepath.Join(cache.Dir(), "pending", "*.pend"))
+	if err != nil || len(markers) != rep.Deferred {
+		t.Fatalf("journal markers = %v (err=%v), want %d", markers, err, rep.Deferred)
+	}
+	for _, m := range markers {
+		body, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), rep.TraceID) {
+			t.Fatalf("marker %s body %q does not carry sweep trace %s", m, body, rep.TraceID)
+		}
+	}
+	putsBefore := tracedPuts(server, rep.TraceID)
+
 	// (c) Daemon restart + reconcile converges the remote store to
 	// byte-identical blobs.
 	inj.Restore()
@@ -151,6 +181,42 @@ func TestSweepSurvivesStoredOutage(t *testing.T) {
 	if rs := client.Resilience(); rs.Pending != 0 {
 		t.Fatalf("journal still holds %d entries after reconcile", rs.Pending)
 	}
+
+	// (d, second half) Every replayed PUT landed on the daemon's flight
+	// recorder under the originating sweep's trace ID: the delta of
+	// trace-matching PUT records across the reconcile is exactly the
+	// replay count.
+	if got := tracedPuts(server, rep.TraceID) - putsBefore; got != n {
+		t.Fatalf("reconcile left %d trace-correlated PUT records, want %d", got, n)
+	}
+	// And the client side of the same story: one reconcile.put span per
+	// replay, each under the sweep's trace, none sharing a span ID with
+	// another (fresh spans, inherited trace).
+	replaySpans := 0
+	for _, s := range tracer.Snapshot() {
+		if s.Name != "storenet.reconcile.put" {
+			continue
+		}
+		replaySpans++
+		if s.Context.TraceID.String() != rep.TraceID {
+			t.Fatalf("replay span under foreign trace: %+v", s.Context)
+		}
+	}
+	if replaySpans != n {
+		t.Fatalf("%d reconcile.put spans, want %d", replaySpans, n)
+	}
+}
+
+// tracedPuts counts the daemon-side PUT request records carrying the
+// given trace ID.
+func tracedPuts(s *Server, traceID string) int {
+	count := 0
+	for _, r := range s.OpsSnapshot() {
+		if r.Method == "PUT" && r.TraceID == traceID {
+			count++
+		}
+	}
+	return count
 }
 
 // TestSweepAbortPolicyStillAborts pins the pre-resilience contract for

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"golatest/internal/obs"
 	"golatest/internal/store"
 )
 
@@ -44,6 +47,16 @@ type Server struct {
 	// draining flips /readyz to 503 ahead of shutdown, so load balancers
 	// and probes route new traffic away while in-flight requests finish.
 	draining atomic.Bool
+
+	// ops is the flight recorder: the last N data-plane requests with
+	// status, latency and (when the client sent a traceparent) the
+	// trace identity, served at GET /debug/ops.
+	ops *opsRing
+
+	// log receives one Debug line per request, annotated with the
+	// extracted trace ID so daemon logs grep by sweep. Defaults to
+	// discard.
+	log *slog.Logger
 }
 
 // SetDraining marks the server as (not) draining; while draining,
@@ -82,6 +95,13 @@ type ServerOptions struct {
 	// outside the authed routes, so no middleware change can
 	// accidentally lock out the orchestrator or the scraper.
 	Auth *TokenSet
+	// Logger receives one Debug-level line per request (method, path,
+	// status, latency, trace_id). nil discards — request logging is an
+	// opt-in diagnostic, not default traffic noise.
+	Logger *slog.Logger
+	// OpsRingSize is the flight-recorder capacity (last N requests at
+	// /debug/ops); 0 means 256.
+	OpsRingSize int
 }
 
 // NewServer builds the handler for a store in open mode.
@@ -89,7 +109,17 @@ func NewServer(st *store.Store) *Server { return NewServerWith(st, ServerOptions
 
 // NewServerWith builds the handler for a store with production options.
 func NewServerWith(st *store.Store, opts ServerOptions) *Server {
-	s := &Server{st: st, mux: http.NewServeMux(), metrics: newRequestMetrics()}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{
+		st:      st,
+		mux:     http.NewServeMux(),
+		metrics: newRequestMetrics(),
+		ops:     newOpsRing(opts.OpsRingSize),
+		log:     logger,
+	}
 	s.auth.Store(opts.Auth)
 	s.route("GET "+apiPrefix+"/blobs/{digest}", ScopeRead, s.handleBlobGet) // matches HEAD too
 	s.route("PUT "+apiPrefix+"/blobs/{digest}", ScopeWrite, s.handleBlobPut)
@@ -101,6 +131,20 @@ func NewServerWith(st *store.Store, opts ServerOptions) *Server {
 	s.route("GET "+apiPrefix+"/stats", ScopeRead, s.handleStats)
 	// GC evicts blobs fleet-wide — any tenant's. Admin only.
 	s.route("POST "+apiPrefix+"/gc", ScopeAdmin, s.handleGC)
+	// Diagnostics: the request flight recorder and the runtime's pprof
+	// profiles. Admin-scoped by the same route() construction that
+	// guards /v1 — an open daemon serves them openly (trusted LAN), an
+	// authed one requires an admin token: profiles expose memory
+	// contents and request paths name tenants' digests, either of which
+	// outranks read scope. Registered outside /v1 (they describe the
+	// process, not the store API) and excluded from the ops ring.
+	s.route("GET /debug/ops", ScopeAdmin, s.handleOps)
+	s.route("GET /debug/pprof/", ScopeAdmin, pprof.Index)
+	s.route("GET /debug/pprof/cmdline", ScopeAdmin, pprof.Cmdline)
+	s.route("GET /debug/pprof/profile", ScopeAdmin, pprof.Profile)
+	s.route("GET /debug/pprof/symbol", ScopeAdmin, pprof.Symbol)
+	s.route("POST /debug/pprof/symbol", ScopeAdmin, pprof.Symbol)
+	s.route("GET /debug/pprof/trace", ScopeAdmin, pprof.Trace)
 	// Probes live outside the versioned prefix: they describe the
 	// process, not the API, and orchestrators expect them at the root.
 	// They and /metrics bypass auth and rate limits by construction —
@@ -141,19 +185,49 @@ func (s *Server) SetAuth(ts *TokenSet) { s.auth.Store(ts) }
 // Store returns the store the server fronts.
 func (s *Server) Store() *store.Store { return s.st }
 
-// ServeHTTP implements http.Handler. It is also the metrics
+// ServeHTTP implements http.Handler. It is also the observability
 // middleware: every request — including auth and rate-limit
 // rejections — is observed with its endpoint pattern (set by the mux
-// on dispatch), status, and latency.
+// on dispatch), status, and latency; data-plane (/v1) requests are
+// additionally recorded in the /debug/ops flight recorder together
+// with the trace identity extracted from the client's W3C traceparent
+// header, and logged at Debug with the same trace ID — which is how
+// one sweep's requests correlate across processes. The traceparent
+// header is optional and ignored when malformed (wire behavior is
+// unchanged for clients that never send it — no /v1 bump).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
+	d := time.Since(start)
 	endpoint := r.Pattern
 	if endpoint == "" {
 		endpoint = "unmatched"
 	}
-	s.metrics.observe(endpoint, sw.code, time.Since(start))
+	s.metrics.observe(endpoint, sw.code, d)
+	if !strings.HasPrefix(r.URL.Path, apiPrefix+"/") {
+		return
+	}
+	sc, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	rec := OpsRecord{
+		Time:      time.Now().UTC(),
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Endpoint:  endpoint,
+		Status:    sw.code,
+		LatencyNs: d.Nanoseconds(),
+	}
+	if sc.Valid() {
+		rec.TraceID = sc.TraceID.String()
+		rec.SpanID = sc.SpanID.String()
+	}
+	s.ops.add(rec)
+	s.log.Debug("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.code,
+		"latency", d,
+		"trace_id", rec.TraceID)
 }
 
 // digest extracts and validates the {digest} path segment; an empty
@@ -448,13 +522,15 @@ func (s *Server) Stats() Stats {
 	ix := s.st.Index()
 	bytes, raw := store.IndexedBytes(ix), store.IndexedRawBytes(ix)
 	resp := Stats{
-		API:      APIVersion,
-		Schema:   store.SchemaVersion,
-		Blobs:    len(ix),
-		Bytes:    bytes,
-		RawBytes: raw,
-		Counters: s.st.Counters(),
-		Leases:   s.LeaseStats(),
+		API:          APIVersion,
+		Schema:       store.SchemaVersion,
+		Blobs:        len(ix),
+		Bytes:        bytes,
+		RawBytes:     raw,
+		Counters:     s.st.Counters(),
+		Leases:       s.LeaseStats(),
+		LatencyP50Ns: s.LatencyQuantileNs(0.50),
+		LatencyP99Ns: s.LatencyQuantileNs(0.99),
 	}
 	if bytes > 0 && raw > 0 {
 		resp.CompressionRatio = float64(raw) / float64(bytes)

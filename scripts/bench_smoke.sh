@@ -38,6 +38,12 @@ raw="$raw
 $(go test -run '^$' -bench 'BenchmarkBreakerOpenGet|BenchmarkDegradedWarmGet|BenchmarkLocalWarmGet' \
 	-benchtime 20x -benchmem ./internal/storenet)
 $(go test -run '^$' -bench 'BenchmarkTimeoutRetryGet' -benchtime 5x -benchmem ./internal/storenet)"
+# Tracing tax: the cost of recording one span event on a hot shard
+# (span pool + monotonic clock, no locks beyond the span's own), and
+# the disabled-tracer path that every untraced sweep pays — which must
+# stay at effectively zero for tracing-off runs to be free.
+raw="$raw
+$(go test -run '^$' -bench 'BenchmarkSpanEvent|BenchmarkStartSpan' -benchtime 100x -benchmem ./internal/obs)"
 printf '%s\n' "$raw"
 
 # Real-blob compression ratio: TestBlobCompressionRatio persists one
@@ -158,6 +164,15 @@ END {
 	local_warm = ns["BenchmarkLocalWarmGet"]
 	if (degraded > 0 && local_warm > 0)
 		printf ",\n  \"degraded_warm_overhead\": %.2f", degraded / local_warm
+	# Observability tax: ns per recorded span event with tracing on, and
+	# the same call against a nil/disabled tracer — the price every
+	# untraced sweep pays, which the obs package promises is negligible.
+	span_ev = ns["BenchmarkSpanEvent"]
+	if (span_ev > 0)
+		printf ",\n  \"obs_span_overhead_ns\": %d", span_ev
+	span_off = ns["BenchmarkSpanEventDisabled"]
+	if (ns["BenchmarkSpanEvent"] > 0)
+		printf ",\n  \"obs_disabled_overhead_ns\": %d", span_off
 	# Daemon request latency under the concurrent authed load test:
 	# histogram-bucket upper-bound estimates (biased high by at most one
 	# bucket), from the same /metrics series operators scrape.

@@ -23,8 +23,29 @@ go build -o /dev/null ./cmd/stored
 echo "== go test =="
 go test ./...
 
+echo "== gofmt (internal/obs) =="
+# The tracing layer is the newest package; hold it to gofmt-clean so
+# drive-by edits to the hot span path can't land unformatted.
+unformatted=$(gofmt -l internal/obs)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+go vet ./internal/obs/...
+
 echo "== go test -race (store, fleet, storenet) =="
-go test -race ./internal/store/... ./internal/fleet/... ./internal/storenet/... ./cmd/stored/...
+go test -race ./internal/obs/... ./internal/store/... ./internal/fleet/... ./internal/storenet/... ./cmd/stored/...
+
+echo "== go test -race (trace propagation) =="
+# The tracer is lock-free by design (atomic ring cursor, pooled spans);
+# the propagation tests drive it from every worker goroutine of a
+# sweep at once, plus the daemon's request-ring recorder.
+go test -race -count 2 \
+	-run 'TestSweepTraceTreeCoversEveryShard|TestSweepInstallsAndClearsTraceContext|TestUntracedSweepCollectsTimings' \
+	./internal/fleet
+go test -race -count 2 -run 'TestConcurrentSpans' ./internal/obs
+go test -race -run 'TestDaemonDebugEndpoints' ./cmd/stored
 
 echo "== go test -race (breaker + degraded-mode reconciler) =="
 go test -race -count 2 \
