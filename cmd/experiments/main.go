@@ -7,7 +7,8 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only <id>] [-out results/]
-//	            [-cache-dir DIR] [-store-url URL] [-no-cache]
+//	            [-cache-dir DIR] [-store-url URL[,URL...]] [-replication N]
+//	            [-no-cache]
 //	            [-fleet N] [-parallel N] [-lease-ttl D] [-owner ID]
 //	            [-shard-offset N|auto] [-store-errors auto|abort|degrade]
 //	            [-reconcile] [-trace-out FILE]
@@ -29,6 +30,16 @@
 // one store. Combining -store-url with -cache-dir adds a local
 // write-through tier: local hits skip the network, remote hits heal the
 // local copy.
+//
+// A comma-separated -store-url list replicates instead: the store
+// becomes a consistent-hashing router over every listed daemon (see
+// internal/storenet/router), writing each campaign to its -replication
+// preferred members (default 2) and failing reads and lease claims over
+// to ring successors when a member is down. A single URL keeps the
+// plain client path — the list form changes nothing until there is
+// actually more than one member. With -cache-dir the directory is the
+// router's local read-through tier. The end-of-run stats include a
+// per-member health line.
 //
 // With -lease-ttl, multi-unit sweeps additionally claim each campaign
 // through an advisory store lease before computing it, so several
@@ -86,6 +97,7 @@ import (
 	"golatest/internal/report"
 	"golatest/internal/store"
 	"golatest/internal/storenet"
+	"golatest/internal/storenet/router"
 )
 
 func main() {
@@ -131,7 +143,8 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 2025, "campaign seed")
 		parallel  = fs.Int("parallel", 0, "concurrent pair campaigns per sweep (0 = one per CPU, 1 = serial; results are identical at every setting)")
 		cacheDir  = fs.String("cache-dir", "", "persist campaign results as content-addressed blobs in this directory; warm re-runs recompute nothing")
-		storeURL  = fs.String("store-url", "", "use a stored daemon at this base URL (e.g. http://host:8417) as the campaign store; with -cache-dir the directory becomes a local write-through tier")
+		storeURL  = fs.String("store-url", "", "use stored daemon(s) as the campaign store: one base URL (e.g. http://host:8417), or a comma-separated list to replicate across a consistent-hashing router; with -cache-dir the directory becomes a local write-through (single URL) or read-through (list) tier")
+		replicas  = fs.Int("replication", 2, "with a multi-member -store-url list: copies of each campaign blob to keep (clamped to the member count)")
 		storeTok  = fs.String("store-token", "", "bearer token for a -store-url daemon running with -tokens (needs write scope for sweeps; 401/403 are terminal — fix the token, they are never retried or journaled)")
 		noCache   = fs.Bool("no-cache", false, "ignore -cache-dir and -store-url for this run: neither read nor write any store")
 		fleetN    = fs.Int("fleet", 0, "concurrent whole campaigns in multi-unit sweeps (0 = one per CPU; results are identical at every setting)")
@@ -189,19 +202,67 @@ func run(args []string, out io.Writer) error {
 		}
 		backend = localStore
 	}
-	if *storeURL != "" && !*noCache {
-		client, err := storenet.NewClient(*storeURL, storenet.ClientOptions{
+	var memberURLs []string
+	if *storeURL != "" {
+		for _, u := range strings.Split(*storeURL, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return fmt.Errorf("-store-url %q: empty member in list", *storeURL)
+			}
+			memberURLs = append(memberURLs, u)
+		}
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replication must be at least 1, got %d", *replicas)
+	}
+	if *replicas != 2 && len(memberURLs) < 2 {
+		return fmt.Errorf("-replication needs a comma-separated multi-member -store-url list (one daemon holds one copy)")
+	}
+	// Client and router diagnostics (breaker edges, failovers, reconcile
+	// replays) go to stderr as structured lines; artefact output stays on
+	// out.
+	diagLog := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	switch {
+	case len(memberURLs) == 1 && !*noCache:
+		// One daemon: the plain client path, with -cache-dir as its
+		// write-through tier. Identical to the pre-list behavior.
+		client, err := storenet.NewClient(memberURLs[0], storenet.ClientOptions{
 			Cache:  localStore,
 			Token:  *storeTok,
 			Tracer: tracer,
-			// Client diagnostics (breaker edges, reconcile replays) go to
-			// stderr as structured lines; artefact output stays on out.
-			Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
+			Logger: diagLog,
 		})
 		if err != nil {
 			return err
 		}
 		backend = client
+	case len(memberURLs) > 1 && !*noCache:
+		// Several daemons: cache-less clients under a replicating router.
+		// The local tier (if any) belongs to the router, not to any one
+		// member — a member's copy must mean that member has the bytes.
+		members := make([]store.Backend, 0, len(memberURLs))
+		for _, u := range memberURLs {
+			c, err := storenet.NewClient(u, storenet.ClientOptions{
+				Token:  *storeTok,
+				Tracer: tracer,
+				Logger: diagLog,
+			})
+			if err != nil {
+				return fmt.Errorf("-store-url member %s: %w", u, err)
+			}
+			members = append(members, c)
+		}
+		rt, err := router.New(members, router.Options{
+			Replication: *replicas,
+			Local:       localStore,
+			Seed:        *seed,
+			Tracer:      tracer,
+			Logger:      diagLog,
+		})
+		if err != nil {
+			return err
+		}
+		backend = rt
 	}
 	if *storeTok != "" && (*storeURL == "" || *noCache) {
 		return fmt.Errorf("-store-token needs -store-url (and no -no-cache): there is no daemon to authenticate to")
@@ -332,6 +393,22 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "client: %d retries, %d rate-limited, %d breaker opens, %d deferred, %d replayed, %d KiB out, %d KiB in\n",
 				tel.Retries, tel.RateLimited, tel.BreakerOpened, tel.DeferredPuts,
 				tel.ReconcileReplays, tel.BytesSent/1024, tel.BytesReceived/1024)
+		}
+		// The replication lines mirror the router's counters: one summary,
+		// then one health line per member so an operator sees at a glance
+		// which daemon a degraded run routed around.
+		if rt, ok := backend.(*router.Router); ok {
+			rs := rt.ReplicationStats()
+			fmt.Fprintf(out, "router: %d/%d members healthy, r=%d, %d failovers, %d under-replicated puts, %d read repairs, %d pending\n",
+				rs.Healthy, rs.Members, rs.Replication, rs.Failovers,
+				rs.UnderReplicatedPuts, rs.ReadRepairs, rs.PendingRepairs)
+			for _, m := range rt.MemberHealth() {
+				state := "healthy"
+				if !m.Healthy {
+					state = "unreachable"
+				}
+				fmt.Fprintf(out, "  member %s: %s, %d blobs\n", m.Location, state, m.Blobs)
+			}
 		}
 	}
 	if tracer != nil {

@@ -543,6 +543,69 @@ func TestDaemonTokenReloadOnSIGHUP(t *testing.T) {
 	}
 }
 
+// TestDaemonTokenExpiry: validity windows flow from the -tokens file
+// through the real daemon. An expired or not-yet-valid credential gets
+// the same 401 an unknown token would; a SIGHUP that renews the expired
+// credential's window brings it back — the no-flag-day rotation story
+// end to end. Windows use far-past/far-future instants, so nothing here
+// races the clock.
+func TestDaemonTokenExpiry(t *testing.T) {
+	tokens := writeTokensFile(t, `
+live    admin nbf=2020-01-01T00:00:00Z expires=2100-01-01T00:00:00Z
+retired admin expires=2020-01-01T00:00:00Z
+staged  admin nbf=2100-01-01T00:00:00Z
+`)
+	d, _, stop := startDaemon(t, "-dir", t.TempDir(), "-addr", "127.0.0.1:0", "-tokens", tokens)
+	defer stop()
+
+	authedGet := func(token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, d.URL()+"/v1/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := authedGet("live").StatusCode; got != http.StatusOK {
+		t.Fatalf("in-window token = %d, want 200", got)
+	}
+	for _, token := range []string{"retired", "staged"} {
+		resp := authedGet(token)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s token = %d, want 401", token, resp.StatusCode)
+		}
+		if ch := resp.Header.Get("WWW-Authenticate"); !strings.Contains(ch, `error="invalid_token"`) {
+			t.Fatalf("%s token challenge = %q, want invalid_token", token, ch)
+		}
+	}
+
+	// Rotation: the operator renews the retired credential's window and
+	// pokes the daemon once. No restart, no flag day.
+	if err := os.WriteFile(tokens, []byte("retired admin expires=2100-01-01T00:00:00Z\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for authedGet("retired").StatusCode != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("renewed token never came back after SIGHUP")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := authedGet("live").StatusCode; got != http.StatusUnauthorized {
+		t.Fatalf("rotated-out token = %d, want 401", got)
+	}
+}
+
 // selfSignedCert writes a fresh ECDSA localhost certificate and key as
 // PEM files and returns their paths plus a pool trusting the cert.
 func selfSignedCert(t *testing.T) (certFile, keyFile string, pool *x509.CertPool) {

@@ -1,0 +1,330 @@
+// Command storedsup supervises one stored daemon: it starts the child
+// command, watches both the process (a crash is detected the instant
+// the child exits) and its readiness endpoint (a wedged daemon — alive
+// but failing /readyz — is killed after a run of consecutive probe
+// failures), and restarts it with capped exponential backoff. The
+// backoff doubles across quick successive failures and resets to its
+// floor once a child stays up past the stability window, so a
+// crash-looping daemon cannot saturate the host while a one-off crash
+// restarts almost immediately.
+//
+// Usage:
+//
+//	storedsup [-probe URL] [-poll D] [-fail-grace N]
+//	          [-backoff-min D] [-backoff-max D] [-stable-after D]
+//	          [-status HOST:PORT] [--] CMD [ARGS...]
+//
+// Everything after the flags (or an explicit --) is the child command,
+// typically `stored -dir DIR -addr HOST:PORT`. The child's stdout and
+// stderr pass through, so the daemon's structured log keeps flowing to
+// whatever collects the supervisor's.
+//
+// With -status, the supervisor serves GET /status: a JSON snapshot of
+// the child PID, lifecycle state (starting/ready/backoff), restart
+// counters split by cause (crash vs. wedge), cumulative probe
+// failures, and the child's current uptime — the counters a fleet
+// dashboard or a test asserts restart behavior against.
+//
+// On SIGINT/SIGTERM the supervisor forwards SIGTERM to the child (so
+// stored runs its own drain), waits for it to exit, and leaves. State
+// lives in the daemon's store directory, not here: the supervisor is
+// deliberately memoryless across its own restarts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s, err := newSupervisor(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storedsup:", err)
+		os.Exit(2)
+	}
+	if err := s.run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "storedsup:", err)
+		os.Exit(1)
+	}
+}
+
+// errWedged marks a child the prober condemned: alive, but failing
+// readiness past the grace run.
+var errWedged = errors.New("storedsup: child wedged (readiness probes exhausted)")
+
+// supervisor is one configured instance; split from main so tests drive
+// it against ephemeral ports and a cancellable context.
+type supervisor struct {
+	argv        []string
+	probeURL    string
+	poll        time.Duration
+	failGrace   int
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	stableAfter time.Duration
+	statusLn    net.Listener // nil = no status endpoint
+	out         io.Writer
+	log         *slog.Logger
+	probeClient *http.Client
+
+	mu        sync.Mutex
+	pid       int
+	state     string
+	started   time.Time
+	lastError string
+
+	restarts      int64 // total, = crashRestarts + wedgeRestarts
+	crashRestarts int64
+	wedgeRestarts int64
+	probeFailures int64
+}
+
+func newSupervisor(args []string, out io.Writer) (*supervisor, error) {
+	fs := flag.NewFlagSet("storedsup", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		probe       = fs.String("probe", "", "readiness URL to poll (e.g. http://127.0.0.1:8417/readyz); empty = restart on exit only")
+		poll        = fs.Duration("poll", 2*time.Second, "readiness probe period")
+		failGrace   = fs.Int("fail-grace", 3, "consecutive probe failures before the child is declared wedged and restarted")
+		backoffMin  = fs.Duration("backoff-min", 500*time.Millisecond, "restart backoff floor")
+		backoffMax  = fs.Duration("backoff-max", 30*time.Second, "restart backoff cap (doubling stops here)")
+		stableAfter = fs.Duration("stable-after", time.Minute, "child uptime after which the backoff resets to its floor")
+		status      = fs.String("status", "", "serve GET /status (restart counters, child state) on this address; empty = off")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	argv := fs.Args()
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("no child command: storedsup [flags] -- CMD [ARGS...]")
+	}
+	if *poll <= 0 {
+		return nil, fmt.Errorf("-poll must be positive, got %v", *poll)
+	}
+	if *failGrace < 1 {
+		return nil, fmt.Errorf("-fail-grace must be at least 1, got %d", *failGrace)
+	}
+	if *backoffMin <= 0 || *backoffMax < *backoffMin {
+		return nil, fmt.Errorf("backoff bounds %v..%v are not an increasing positive range", *backoffMin, *backoffMax)
+	}
+	var ln net.Listener
+	if *status != "" {
+		var err error
+		if ln, err = net.Listen("tcp", *status); err != nil {
+			return nil, err
+		}
+	}
+	return &supervisor{
+		argv:        argv,
+		probeURL:    *probe,
+		poll:        *poll,
+		failGrace:   *failGrace,
+		backoffMin:  *backoffMin,
+		backoffMax:  *backoffMax,
+		stableAfter: *stableAfter,
+		statusLn:    ln,
+		out:         out,
+		log:         slog.New(slog.NewTextHandler(out, nil)),
+		// The probe must answer within a poll period, or it would lag the
+		// schedule it drives.
+		probeClient: &http.Client{Timeout: *poll},
+		state:       "starting",
+	}, nil
+}
+
+// StatusURL returns the status endpoint's base URL ("" when disabled).
+func (s *supervisor) StatusURL() string {
+	if s.statusLn == nil {
+		return ""
+	}
+	return "http://" + s.statusLn.Addr().String()
+}
+
+// statusSnapshot is the GET /status document.
+type statusSnapshot struct {
+	PID           int     `json:"pid"`
+	State         string  `json:"state"`
+	Restarts      int64   `json:"restarts"`
+	CrashRestarts int64   `json:"crash_restarts"`
+	WedgeRestarts int64   `json:"wedge_restarts"`
+	ProbeFailures int64   `json:"probe_failures"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	LastError     string  `json:"last_error,omitempty"`
+}
+
+func (s *supervisor) snapshot() statusSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := statusSnapshot{
+		PID:           s.pid,
+		State:         s.state,
+		Restarts:      s.restarts,
+		CrashRestarts: s.crashRestarts,
+		WedgeRestarts: s.wedgeRestarts,
+		ProbeFailures: s.probeFailures,
+		LastError:     s.lastError,
+	}
+	if s.pid != 0 && !s.started.IsZero() {
+		snap.UptimeSeconds = time.Since(s.started).Seconds()
+	}
+	return snap
+}
+
+func (s *supervisor) setState(state string) {
+	s.mu.Lock()
+	s.state = state
+	s.mu.Unlock()
+}
+
+func (s *supervisor) serveStatus(ctx context.Context) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.snapshot())
+	})
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	_ = srv.Serve(s.statusLn)
+}
+
+// run supervises until the context is cancelled. It never returns a
+// child failure — surviving those is the job — only a configuration
+// error surfaced by the status server setup.
+func (s *supervisor) run(ctx context.Context) error {
+	if s.statusLn != nil {
+		go s.serveStatus(ctx)
+		s.log.Info("status endpoint", "url", s.StatusURL())
+	}
+	backoff := s.backoffMin
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		start := time.Now()
+		err := s.runChild(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		// The backoff ladder: a child that stayed up past the stability
+		// window earns a fresh floor; a quick death doubles the wait, up
+		// to the cap.
+		if time.Since(start) >= s.stableAfter {
+			backoff = s.backoffMin
+		} else {
+			backoff = min(backoff*2, s.backoffMax)
+		}
+		s.mu.Lock()
+		s.restarts++
+		if errors.Is(err, errWedged) {
+			s.wedgeRestarts++
+		} else {
+			s.crashRestarts++
+		}
+		if err != nil {
+			s.lastError = err.Error()
+		} else {
+			s.lastError = "child exited"
+		}
+		s.pid = 0
+		s.state = "backoff"
+		s.mu.Unlock()
+		s.log.Warn("child down, restarting", "error", err, "backoff", backoff)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// runChild runs one child incarnation to its end: process exit (the
+// error is the exit status, possibly nil), a wedge verdict (errWedged,
+// child killed), or context cancellation (SIGTERM forwarded, exit
+// awaited, nil returned).
+func (s *supervisor) runChild(ctx context.Context) error {
+	cmd := exec.Command(s.argv[0], s.argv[1:]...)
+	cmd.Stdout = s.out
+	cmd.Stderr = s.out
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.pid = cmd.Process.Pid
+	s.started = time.Now()
+	s.state = "starting"
+	s.mu.Unlock()
+	s.log.Info("child started", "pid", cmd.Process.Pid, "cmd", s.argv[0])
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	tick := time.NewTicker(s.poll)
+	defer tick.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			// Forward the shutdown so stored drains cleanly; escalate to
+			// SIGKILL only if the drain stalls.
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				_ = cmd.Process.Kill()
+				<-done
+			}
+			return nil
+		case err := <-done:
+			return err
+		case <-tick.C:
+			if s.probeURL == "" {
+				continue
+			}
+			if s.probe() {
+				fails = 0
+				s.setState("ready")
+				continue
+			}
+			fails++
+			s.mu.Lock()
+			s.probeFailures++
+			s.mu.Unlock()
+			if fails >= s.failGrace {
+				// The wait below cannot hang: SIGKILL is not maskable.
+				_ = cmd.Process.Kill()
+				<-done
+				return errWedged
+			}
+		}
+	}
+}
+
+// probe reports one readiness check: a 200 within the poll period.
+func (s *supervisor) probe() bool {
+	resp, err := s.probeClient.Get(s.probeURL)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os/exec"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the supervisor's and child's concurrent log writes
+// race-safely meet the test's assertions.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestSupervisorFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no child command
+		{"-poll", "0s", "--", "true"},      // non-positive poll
+		{"-fail-grace", "0", "--", "true"}, // grace below 1
+		{"-backoff-min", "2s", "-backoff-max", "1s", "--", "true"}, // inverted range
+	}
+	for _, args := range cases {
+		if _, err := newSupervisor(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("newSupervisor(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+// startSupervisor runs a supervisor in the background and tears it down
+// with the test.
+func startSupervisor(t *testing.T, args ...string) (*supervisor, *syncBuffer) {
+	t.Helper()
+	out := &syncBuffer{}
+	s, err := newSupervisor(args, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("supervisor run: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("supervisor did not stop on context cancel")
+		}
+	})
+	return s, out
+}
+
+// fetchStatus reads and decodes the supervisor's /status document.
+func fetchStatus(t *testing.T, s *supervisor) statusSnapshot {
+	t.Helper()
+	resp, err := http.Get(s.StatusURL() + "/status")
+	if err != nil {
+		t.Fatalf("status endpoint: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap statusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return snap
+}
+
+// waitStatus polls /status until cond holds or the deadline passes.
+func waitStatus(t *testing.T, s *supervisor, what string, timeout time.Duration, cond func(statusSnapshot) bool) statusSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		snap := fetchStatus(t, s)
+		if cond(snap) {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; last status %+v", what, snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// reservePort grabs an ephemeral loopback port for the child daemon, so
+// the probe URL is known before the child starts.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// buildStored compiles the real stored binary the supervisor will run.
+func buildStored(t *testing.T) string {
+	t.Helper()
+	exe := t.TempDir() + "/stored"
+	cmd := exec.Command("go", "build", "-o", exe, "golatest/cmd/stored")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building stored: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestSupervisorRestartsKilledDaemon is the acceptance contract: the
+// supervisor runs a real stored daemon, the daemon is SIGKILLed out
+// from under it, and a fresh incarnation must be serving /readyz again
+// — crash detection is the process wait, so recovery needs one backoff
+// floor plus the daemon's own startup, well inside a few poll periods.
+func TestSupervisorRestartsKilledDaemon(t *testing.T) {
+	exe := buildStored(t)
+	addr := reservePort(t)
+	s, _ := startSupervisor(t,
+		"-probe", "http://"+addr+"/readyz",
+		"-poll", "50ms",
+		"-fail-grace", "3",
+		"-backoff-min", "10ms",
+		"-backoff-max", "200ms",
+		"-status", "127.0.0.1:0",
+		"--", exe, "-dir", t.TempDir(), "-addr", addr,
+	)
+	ready := waitStatus(t, s, "first child ready", 15*time.Second, func(st statusSnapshot) bool {
+		return st.State == "ready" && st.PID != 0
+	})
+
+	killedAt := time.Now()
+	if err := syscall.Kill(ready.PID, syscall.SIGKILL); err != nil {
+		t.Fatalf("killing child %d: %v", ready.PID, err)
+	}
+	recovered := waitStatus(t, s, "restarted child ready", 15*time.Second, func(st statusSnapshot) bool {
+		return st.State == "ready" && st.PID != 0 && st.PID != ready.PID && st.Restarts >= 1
+	})
+	if recovered.CrashRestarts < 1 {
+		t.Fatalf("SIGKILL not accounted as a crash restart: %+v", recovered)
+	}
+	// The daemon answers its own probe again — the restart is real, not
+	// just a PID in the status document.
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted daemon /readyz = (%v, %v), want 200", resp, err)
+	}
+	resp.Body.Close()
+	// Sanity-bound the recovery: a 10ms backoff floor and 50ms poll must
+	// not take seconds (the generous bound absorbs CI scheduling noise).
+	if took := time.Since(killedAt); took > 10*time.Second {
+		t.Fatalf("recovery took %v", took)
+	}
+}
+
+// TestSupervisorRestartsWedgedChild: a child that is alive but never
+// answers readiness is condemned after -fail-grace consecutive probe
+// failures and restarted.
+func TestSupervisorRestartsWedgedChild(t *testing.T) {
+	sleepBin, err := exec.LookPath("sleep")
+	if err != nil {
+		t.Skip("no sleep binary on PATH")
+	}
+	// Nothing listens on the probed port: every probe fails.
+	s, _ := startSupervisor(t,
+		"-probe", "http://"+reservePort(t)+"/readyz",
+		"-poll", "15ms",
+		"-fail-grace", "2",
+		"-backoff-min", "5ms",
+		"-backoff-max", "50ms",
+		"-status", "127.0.0.1:0",
+		"--", sleepBin, "60",
+	)
+	snap := waitStatus(t, s, "wedge restarts", 15*time.Second, func(st statusSnapshot) bool {
+		return st.WedgeRestarts >= 2
+	})
+	if snap.ProbeFailures < 4 {
+		t.Fatalf("probe failures = %d across ≥ 2 wedge cycles, want ≥ 4", snap.ProbeFailures)
+	}
+	if snap.Restarts < snap.WedgeRestarts {
+		t.Fatalf("restart accounting inconsistent: %+v", snap)
+	}
+}
+
+// TestSupervisorForwardsShutdown: cancelling the supervisor SIGTERMs
+// the child and waits for it; nothing is left running.
+func TestSupervisorForwardsShutdown(t *testing.T) {
+	exe := buildStored(t)
+	addr := reservePort(t)
+	out := &syncBuffer{}
+	s, err := newSupervisor([]string{
+		"-probe", "http://" + addr + "/readyz",
+		"-poll", "50ms",
+		"-status", "127.0.0.1:0",
+		"--", exe, "-dir", t.TempDir(), "-addr", addr,
+	}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.run(ctx) }()
+	snap := waitStatus(t, s, "child ready", 15*time.Second, func(st statusSnapshot) bool {
+		return st.State == "ready" && st.PID != 0
+	})
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after cancel: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("supervisor did not return after cancel")
+	}
+	// The child is gone: signalling it must fail (ESRCH), not reach a
+	// live process.
+	if err := syscall.Kill(snap.PID, syscall.Signal(0)); err == nil {
+		_ = syscall.Kill(snap.PID, syscall.SIGKILL)
+		t.Fatalf("child %d still alive after supervisor shutdown", snap.PID)
+	}
+	if !bytes.Contains([]byte(out.String()), []byte("shut down")) {
+		t.Fatalf("child drain not visible in passthrough output:\n%s", out.String())
+	}
+}

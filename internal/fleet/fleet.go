@@ -254,6 +254,14 @@ type Report struct {
 	// GC carries the stats of the watermark GC pass that followed the
 	// sweep, when Options.GCWatermarkBytes triggered one; nil otherwise.
 	GC *store.GCStats
+	// Replication, when the sweep's store is a replicating backend
+	// (store.Replicated), carries its post-sweep stats with the traffic
+	// counters reduced to this sweep's deltas: Failovers,
+	// UnderReplicatedPuts, ReadRepairs, ScrubRepairs and ScrubRuns count
+	// only what happened while the sweep ran, while Members, Healthy,
+	// Replication and PendingRepairs are the end-of-sweep snapshot. Nil
+	// for non-replicated backends.
+	Replication *store.ReplicationStats
 	// TraceID is the hex trace identifier of the sweep's root span when
 	// Options.Tracer was set ("" otherwise) — the value to grep for in a
 	// trace export or a daemon's /debug/ops flight recorder.
@@ -466,6 +474,7 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 		}
 	}
 	var before store.ResilienceStats
+	var replBefore store.ReplicationStats
 	if opts.Store != nil {
 		sw.degrade = resolvePolicy(opts.StoreErrors, opts.Store)
 		if r, ok := opts.Store.(store.Resilient); ok {
@@ -473,6 +482,9 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 			// attribute this sweep's share of deferred/reconciled traffic
 			// (the backend's totals span its whole lifetime).
 			before = r.Resilience()
+		}
+		if r, ok := opts.Store.(store.Replicated); ok {
+			replBefore = r.ReplicationStats()
 		}
 	}
 
@@ -516,6 +528,17 @@ func Sweep(profiles []hwprofile.Profile, opts Options) (*Report, error) {
 			after := r.Resilience()
 			rep.Deferred = int(after.Deferred - before.Deferred)
 			rep.Reconciled = int(after.Reconciled - before.Reconciled)
+		}
+		if r, ok := opts.Store.(store.Replicated); ok {
+			// Gauges stay absolute; traffic counters become this sweep's
+			// share, mirroring the Deferred/Reconciled attribution above.
+			rs := r.ReplicationStats()
+			rs.Failovers -= replBefore.Failovers
+			rs.UnderReplicatedPuts -= replBefore.UnderReplicatedPuts
+			rs.ReadRepairs -= replBefore.ReadRepairs
+			rs.ScrubRepairs -= replBefore.ScrubRepairs
+			rs.ScrubRuns -= replBefore.ScrubRuns
+			rep.Replication = &rs
 		}
 	}
 

@@ -87,6 +87,59 @@ type ResilienceStats struct {
 	Pending int64
 }
 
+// ValidatedGetter is the optional read-side half of the proof-carrying
+// blob handoff: backends that can return the validated container bytes
+// alongside the decoded result implement it (*Store reads them off
+// disk, storenet.Client validates the wire body). Composite backends —
+// the replicating router — use it to move a blob between members
+// without a second decode: the ValidatedBlob a member hands back is
+// exactly what another member's PutValidated accepts verbatim.
+type ValidatedGetter interface {
+	GetValidated(digest string) (*ValidatedBlob, bool)
+}
+
+// ValidatedPutter is the write-side half: backends that can persist an
+// already-validated blob without re-encoding or re-validating it. The
+// ValidatedBlob type has no public constructor outside the validating
+// parse paths, so an implementation may trust the bytes unconditionally.
+type ValidatedPutter interface {
+	PutValidated(vb *ValidatedBlob) error
+}
+
+// ReplicationStats reports a replicating composite backend's health and
+// repair traffic — the replication-aware analogue of ResilienceStats.
+// All fields are counters since construction except Members, Healthy,
+// Replication, and PendingRepairs (point-in-time gauges).
+type ReplicationStats struct {
+	// Members is the ring size; Healthy is how many members currently
+	// answer their health signal; Replication is the configured factor R.
+	Members, Healthy, Replication int
+	// Failovers counts operations routed past an unhealthy or failing
+	// member to its ring successor (reads, writes, and lease claims).
+	Failovers int64
+	// UnderReplicatedPuts counts Puts acknowledged with fewer than R
+	// replica writes — durable, but owed a repair.
+	UnderReplicatedPuts int64
+	// ReadRepairs counts replicas healed opportunistically by a Get that
+	// observed a preferred member missing the blob it then found further
+	// along the ring.
+	ReadRepairs int64
+	// ScrubRepairs counts replicas healed by the anti-entropy scrubber;
+	// ScrubRuns counts completed scrub passes.
+	ScrubRepairs, ScrubRuns int64
+	// PendingRepairs gauges replica slots known to be missing their blob
+	// (failed replica writes not yet healed by read-repair or a scrub).
+	PendingRepairs int64
+}
+
+// Replicated is implemented by composite backends that spread blobs
+// over member stores with redundancy (the storenet router). Fleet
+// sweeps use it for replication-aware accounting: a sweep that rode out
+// a member outage reports the failovers and repairs that absorbed it.
+type Replicated interface {
+	ReplicationStats() ReplicationStats
+}
+
 // Resilient is implemented by backends that survive a remote outage by
 // degrading to a local tier (storenet.Client with a cache configured).
 // Blobs are content-addressed and immutable, so the degraded contract
@@ -107,8 +160,10 @@ type Resilient interface {
 }
 
 var (
-	_ Backend     = (*Store)(nil)
-	_ LeaseHandle = (*Lease)(nil)
+	_ Backend         = (*Store)(nil)
+	_ LeaseHandle     = (*Lease)(nil)
+	_ ValidatedGetter = (*Store)(nil)
+	_ ValidatedPutter = (*Store)(nil)
 )
 
 // IndexedBytes sums the recorded on-disk blob sizes of an index

@@ -66,6 +66,15 @@ type TokenLimits struct {
 	// charged by Content-Length before the body is read); ByteBurst is
 	// that bucket's capacity (0 = BytesPerSec).
 	BytesPerSec, ByteBurst float64
+	// NotBefore and Expires bound the token's validity window. A request
+	// outside it is rejected 401 (error="invalid_token") exactly like an
+	// unknown token — the credential does not exist yet, or no longer
+	// does. Zero values mean unbounded on that side. Expiry is how token
+	// files rotate without a flag day: ship the replacement early with
+	// nbf=<cutover>, give the old token expires=<cutover+grace>, and
+	// SIGHUP the daemon once; each credential activates and lapses on
+	// schedule.
+	NotBefore, Expires time.Time
 }
 
 // bucket is a mutex-guarded token bucket. A nil *bucket is unlimited,
@@ -114,12 +123,27 @@ func (b *bucket) take(n float64) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration(short / b.rate * float64(time.Second))
 }
 
-// tokenEntry is one credential's grant: its (expanded) scope and its
-// optional rate and byte buckets.
+// tokenEntry is one credential's grant: its (expanded) scope, its
+// optional rate and byte buckets, and its validity window (zero bounds
+// mean unbounded).
 type tokenEntry struct {
 	scope Scope
 	reqs  *bucket
 	bytes *bucket
+	nbf   time.Time
+	exp   time.Time
+}
+
+// validAt reports whether the credential exists at the given instant:
+// at or after nbf, strictly before exp.
+func (e *tokenEntry) validAt(now time.Time) bool {
+	if !e.nbf.IsZero() && now.Before(e.nbf) {
+		return false
+	}
+	if !e.exp.IsZero() && !now.Before(e.exp) {
+		return false
+	}
+	return true
 }
 
 // TokenSet is the daemon's credential table: token → scope + quotas.
@@ -143,6 +167,8 @@ func (ts *TokenSet) Grant(token string, scope Scope, lim TokenLimits) *TokenSet 
 		scope: expandScope(scope),
 		reqs:  newBucket(lim.RPS, lim.Burst),
 		bytes: newBucket(lim.BytesPerSec, lim.ByteBurst),
+		nbf:   lim.NotBefore,
+		exp:   lim.Expires,
 	}
 	return ts
 }
@@ -154,11 +180,16 @@ func (ts *TokenSet) Len() int { return len(ts.tokens) }
 //
 //	# comment (or blank line)
 //	<token> <scope>[,<scope>...] [rps=N] [burst=N] [bps=N] [bburst=N]
+//	        [nbf=RFC3339] [expires=RFC3339]
 //
 // One token per line, whitespace-separated. Scopes are read, write,
 // admin (hierarchical: admin ⊃ write ⊃ read). rps/burst bound the
 // token's request rate; bps/bburst bound its uploaded bytes per second
-// (PUT payloads). Omitted settings mean unlimited.
+// (PUT payloads). nbf and expires bound the token's validity window
+// (RFC 3339 timestamps, e.g. 2026-09-01T00:00:00Z): requests before
+// nbf or at/after expires are 401s. Omitted settings mean unlimited
+// and unbounded. A SIGHUP reload plus staggered nbf/expires windows is
+// the rotation story — see TokenLimits.
 func LoadTokens(path string) (*TokenSet, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -206,26 +237,42 @@ func ParseTokens(r io.Reader) (*TokenSet, error) {
 		var lim TokenLimits
 		for _, kv := range fields[2:] {
 			key, val, ok := strings.Cut(kv, "=")
-			var v float64
-			var perr error
-			if ok {
-				v, perr = strconv.ParseFloat(val, 64)
-			}
-			if !ok || perr != nil || v < 0 {
-				return nil, fmt.Errorf("line %d: bad setting %q (want k=N, N ≥ 0)", lineNo, kv)
+			if !ok {
+				return nil, fmt.Errorf("line %d: bad setting %q (want k=v)", lineNo, kv)
 			}
 			switch key {
-			case "rps":
-				lim.RPS = v
-			case "burst":
-				lim.Burst = v
-			case "bps":
-				lim.BytesPerSec = v
-			case "bburst":
-				lim.ByteBurst = v
+			case "nbf", "expires":
+				ts, err := time.Parse(time.RFC3339, val)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad timestamp %q (want RFC 3339, e.g. 2026-09-01T00:00:00Z)", lineNo, kv)
+				}
+				if key == "nbf" {
+					lim.NotBefore = ts
+				} else {
+					lim.Expires = ts
+				}
+			case "rps", "burst", "bps", "bburst":
+				v, perr := strconv.ParseFloat(val, 64)
+				if perr != nil || v < 0 {
+					return nil, fmt.Errorf("line %d: bad setting %q (want k=N, N ≥ 0)", lineNo, kv)
+				}
+				switch key {
+				case "rps":
+					lim.RPS = v
+				case "burst":
+					lim.Burst = v
+				case "bps":
+					lim.BytesPerSec = v
+				case "bburst":
+					lim.ByteBurst = v
+				}
 			default:
-				return nil, fmt.Errorf("line %d: unknown setting %q (want rps, burst, bps, or bburst)", lineNo, kv)
+				return nil, fmt.Errorf("line %d: unknown setting %q (want rps, burst, bps, bburst, nbf, or expires)", lineNo, kv)
 			}
+		}
+		if !lim.NotBefore.IsZero() && !lim.Expires.IsZero() && !lim.NotBefore.Before(lim.Expires) {
+			return nil, fmt.Errorf("line %d: empty validity window (nbf %s is not before expires %s)",
+				lineNo, lim.NotBefore.Format(time.RFC3339), lim.Expires.Format(time.RFC3339))
 		}
 		ts.Grant(token, scope, lim)
 	}
@@ -266,6 +313,15 @@ func (ts *TokenSet) admit(w http.ResponseWriter, r *http.Request, need Scope) bo
 	if e == nil {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="stored", error="invalid_token"`)
 		http.Error(w, "storenet: unknown token", http.StatusUnauthorized)
+		return false
+	}
+	// An expired or not-yet-valid token is indistinguishable from an
+	// unknown one on purpose: 401 tells the client to fetch fresh
+	// credentials, and the daemon does not leak which tokens exist
+	// outside their windows.
+	if !e.validAt(time.Now()) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="stored", error="invalid_token"`)
+		http.Error(w, "storenet: token outside its validity window", http.StatusUnauthorized)
 		return false
 	}
 	if e.scope&need != need {

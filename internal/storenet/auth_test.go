@@ -53,6 +53,86 @@ admin-1    admin bps=1048576 bburst=2097152
 	}
 }
 
+// TestParseTokensValidityWindows: the nbf=/expires= grammar populates
+// the credential's window, malformed timestamps are rejected at parse
+// (not discovered at request time), and a window that can never admit
+// anyone is a file error.
+func TestParseTokensValidityWindows(t *testing.T) {
+	ts, err := ParseTokens(strings.NewReader(`
+current  admin nbf=2026-01-01T00:00:00Z expires=2027-01-01T00:00:00Z
+forever  read
+successor write nbf=2026-09-01T00:00:00Z
+retiring write expires=2026-09-01T01:00:00Z
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := ts.tokens["current"]; e.nbf.IsZero() || e.exp.IsZero() || !e.nbf.Before(e.exp) {
+		t.Fatalf("current window = [%v, %v)", e.nbf, e.exp)
+	}
+	if e := ts.tokens["forever"]; !e.nbf.IsZero() || !e.exp.IsZero() {
+		t.Fatalf("unbounded token grew a window: [%v, %v)", e.nbf, e.exp)
+	}
+	if e := ts.tokens["successor"]; e.nbf.IsZero() || !e.exp.IsZero() {
+		t.Fatalf("successor window = [%v, %v)", e.nbf, e.exp)
+	}
+
+	for _, bad := range []string{
+		"tok read expires=tomorrow",                                      // not a timestamp
+		"tok read nbf=2026-99-01T00:00:00Z",                              // impossible month
+		"tok read expires=2026-09-01",                                    // date without time (not RFC 3339)
+		"tok read nbf=2026-09-01T00:00:00Z expires=2026-09-01T00:00:00Z", // empty window
+		"tok read nbf=2027-01-01T00:00:00Z expires=2026-01-01T00:00:00Z", // inverted window
+	} {
+		if _, err := ParseTokens(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTokens(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTokenValidityWindow401: a token outside its window is rejected
+// exactly like an unknown one — 401 with an invalid_token challenge —
+// while a token inside a bounded window works normally. Windows use
+// far-past/far-future instants so the test never races the clock.
+func TestTokenValidityWindow401(t *testing.T) {
+	past := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	future := time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+	ts := NewTokenSet().
+		Grant("live", ScopeAdmin, TokenLimits{NotBefore: past, Expires: future}).
+		Grant("expired", ScopeAdmin, TokenLimits{Expires: past}).
+		Grant("premature", ScopeAdmin, TokenLimits{NotBefore: future})
+	_, hs, _ := authedServer(t, ts)
+
+	get := func(token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, hs.URL+"/v1/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get("live"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-window token = %d, want 200", resp.StatusCode)
+	}
+	for _, token := range []string{"expired", "premature"} {
+		resp := get(token)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s token = %d, want 401", token, resp.StatusCode)
+		}
+		if ch := resp.Header.Get("WWW-Authenticate"); !strings.Contains(ch, `error="invalid_token"`) {
+			t.Fatalf("%s token challenge = %q, want invalid_token", token, ch)
+		}
+	}
+}
+
 // authedServer mounts a store on an authed loopback server and returns
 // it with a request counter, so tests can assert exactly how many
 // requests a client actually sent (no-retry-storm proofs).

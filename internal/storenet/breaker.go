@@ -109,6 +109,21 @@ func (b *breaker) allow() bool {
 	}
 }
 
+// isOpen peeks at the circuit without mutating it: true only while the
+// circuit is open and its cooldown has not yet elapsed. Once the
+// cooldown passes the answer flips to false — the next allow() would
+// admit a half-open probe, so callers routing around an "open" member
+// (the replicating router) resume offering it traffic at exactly the
+// moment the breaker itself would.
+func (b *breaker) isOpen() bool {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Sub(b.openedAt) < b.cooldown
+}
+
 // record feeds one attempt's outcome. It reports whether this outcome
 // closed a previously open circuit — the recovery edge the client's
 // background reconciler hangs off.

@@ -207,8 +207,10 @@ type ClientOptions struct {
 }
 
 var (
-	_ store.Backend   = (*Client)(nil)
-	_ store.Resilient = (*Client)(nil)
+	_ store.Backend         = (*Client)(nil)
+	_ store.Resilient       = (*Client)(nil)
+	_ store.ValidatedGetter = (*Client)(nil)
+	_ store.ValidatedPutter = (*Client)(nil)
 )
 
 // NewClient validates the base URL (http or https, e.g. the
@@ -721,6 +723,72 @@ func (c *Client) Get(k store.Key) (*core.Result, bool) {
 	return vb.Result(), true
 }
 
+// GetValidated implements store.ValidatedGetter: Get's wire path, but
+// returning the proof-carrying blob — validated container bytes plus
+// the decoded result from the same single parse — instead of just the
+// result. The router's read-repair rides this: a member that misses is
+// healed with another member's validated bytes verbatim. Unlike Get,
+// the returned bytes are freshly allocated (not pooled scratch), so
+// they survive the call; local-tier counters and heal behavior match
+// Get exactly.
+func (c *Client) GetValidated(digest string) (*store.ValidatedBlob, bool) {
+	if c.cache != nil {
+		if vb, ok := c.cache.GetValidated(digest); ok {
+			c.hits.Add(1)
+			return vb, true
+		}
+	}
+	span := c.startSpan("storenet.get")
+	defer span.End()
+	resp, err := c.doIdempotent(http.MethodGet, c.blobURL(digest), nil, true, span, obs.SpanContext{})
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			c.degraded.Add(1)
+			span.SetAttr("outcome", "degraded")
+		} else {
+			span.SetAttr("outcome", "error")
+		}
+		c.misses.Add(1)
+		return nil, false
+	}
+	var buf bytes.Buffer
+	readErr := c.readBodyInto(&buf, resp, maxBlobBytes)
+	if resp.StatusCode != http.StatusOK {
+		c.misses.Add(1)
+		span.SetAttr("outcome", "miss")
+		return nil, false
+	}
+	if readErr != nil {
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		span.SetAttr("outcome", "corrupt")
+		return nil, false
+	}
+	c.decodePasses.Add(1)
+	vb, err := store.ValidateBlobBytes(buf.Bytes(), digest)
+	if err != nil {
+		c.corrupt.Add(1)
+		c.misses.Add(1)
+		span.SetAttr("outcome", "corrupt")
+		return nil, false
+	}
+	if c.cache != nil {
+		_ = c.cache.PutValidated(vb)
+	}
+	c.hits.Add(1)
+	span.SetAttr("outcome", "hit")
+	return vb, true
+}
+
+// Healthy reports whether this client currently offers its daemon a
+// realistic chance of answering: false exactly while the circuit
+// breaker is open inside its cooldown (every request would fast-fail
+// with ErrUnavailable). The replicating router uses it to route
+// traffic — most importantly lease claims — past a downed member to
+// its ring successor, and resumes routing here the moment the breaker
+// would admit its half-open probe.
+func (c *Client) Healthy() bool { return !c.br.isOpen() }
+
 // Put encodes once — straight into the v3 binary container — and
 // writes through: daemon first (authoritative — its failure fails the
 // Put), then the local tier (best-effort, the same bytes verbatim).
@@ -741,6 +809,29 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 	if err != nil {
 		return fmt.Errorf("storenet: encode %s: %w", k, err)
 	}
+	return c.putContainer(k, data, func() ([]byte, error) { return store.EncodeBlob(k, res) })
+}
+
+// PutValidated implements store.ValidatedPutter: it uploads an
+// already-validated container verbatim — no re-encode, no second parse.
+// This is the write half of the router's read-repair path: the bytes a
+// member's Get validated travel to an under-replicated member exactly
+// as they came off the wire. Degraded-mode semantics match Put (an
+// unreachable daemon defers into the journal when a local tier exists).
+func (c *Client) PutValidated(vb *store.ValidatedBlob) error {
+	k := vb.Key()
+	// The blob's bytes may alias a caller's scratch buffer; the journal
+	// and retry paths below persist or replay them synchronously within
+	// this call, so no copy is needed.
+	return c.putContainer(k, vb.Bytes(), func() ([]byte, error) { return store.EncodeBlob(k, vb.Result()) })
+}
+
+// putContainer uploads one blob container under the key's digest, with
+// Put's full failure discipline: retries and breaker via doIdempotent,
+// journal deferral for infrastructure failures when a local tier
+// exists, terminal 401/403, and a one-shot identity fallback (fallback
+// encodes the canonical v1 bytes) for pre-v3 daemons answering 400.
+func (c *Client) putContainer(k store.Key, data []byte, fallback func() ([]byte, error)) error {
 	span := c.startSpan("storenet.put")
 	defer span.End()
 	resp, err := c.doIdempotent(http.MethodPut, c.blobURL(k.Digest), data, true, span, obs.SpanContext{})
@@ -768,7 +859,7 @@ func (c *Client) Put(k store.Key, res *core.Result) error {
 		// identically on the retry and surfaces below, naming both
 		// refusals.
 		firstStatus := resp.Status
-		plain, perr := store.EncodeBlob(k, res)
+		plain, perr := fallback()
 		if perr != nil {
 			return fmt.Errorf("storenet: encode %s: %w", k, perr)
 		}
@@ -949,6 +1040,10 @@ func (t Telemetry) WriteProm(w io.Writer) {
 func (c *Client) Reconcile() (int, error) {
 	c.reconcileMu.Lock()
 	defer c.reconcileMu.Unlock()
+	// The breaker reset is unconditional — the recovery assertion is
+	// meaningful even for a cache-less client with no journal to replay
+	// (a replicating router telling its members the outage is over).
+	c.br.reset()
 	if c.pendingDir == "" {
 		return 0, nil
 	}
@@ -959,7 +1054,6 @@ func (c *Client) Reconcile() (int, error) {
 		}
 		return 0, fmt.Errorf("storenet: reconcile: %w", err)
 	}
-	c.br.reset()
 	replayed := 0
 	for _, de := range entries {
 		name := de.Name()

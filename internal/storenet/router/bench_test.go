@@ -1,0 +1,113 @@
+package router_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"golatest/internal/store"
+	"golatest/internal/store/conformancetest"
+	"golatest/internal/storenet"
+	"golatest/internal/storenet/faults"
+	"golatest/internal/storenet/router"
+)
+
+// benchDaemon spins up one stored daemon and a cache-less client.
+func benchDaemon(b *testing.B, seed uint64) (*storenet.Client, *faults.Injector) {
+	b.Helper()
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := faults.NewInjector(storenet.NewServer(st), faults.Plan{})
+	srv := httptest.NewServer(inj)
+	b.Cleanup(srv.Close)
+	c, err := storenet.NewClient(srv.URL, storenet.ClientOptions{
+		Retries:          1,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		Seed:             seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, inj
+}
+
+// BenchmarkDirectWarmGet is the baseline a router Get is compared
+// against: one client, one daemon, warm blob.
+func BenchmarkDirectWarmGet(b *testing.B) {
+	c, _ := benchDaemon(b, 1)
+	k, res := conformancetest.Key(b, 0), conformancetest.Result(0)
+	if err := c.Put(k, res); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("warm Get missed")
+		}
+	}
+}
+
+// BenchmarkRouterWarmGet measures the routing overhead on the happy
+// path: three daemon members, R=2, blob fully replicated, primary
+// healthy — the Get should cost one member round trip plus ring math.
+func BenchmarkRouterWarmGet(b *testing.B) {
+	members := make([]store.Backend, 3)
+	for i := range members {
+		c, _ := benchDaemon(b, uint64(i+1))
+		members[i] = c
+	}
+	r, err := router.New(members, router.Options{Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, res := conformancetest.Key(b, 0), conformancetest.Result(0)
+	if err := r.Put(k, res); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Get(k); !ok {
+			b.Fatal("warm Get missed")
+		}
+	}
+}
+
+// BenchmarkRouterFailoverGet measures the steady-state failover read:
+// the primary member is dead with its breaker open, so every Get skips
+// it by health signal and serves from the surviving replica.
+func BenchmarkRouterFailoverGet(b *testing.B) {
+	members := make([]store.Backend, 3)
+	injs := make([]*faults.Injector, 3)
+	byLoc := map[string]int{}
+	for i := range members {
+		c, inj := benchDaemon(b, uint64(i+1))
+		members[i] = c
+		injs[i] = inj
+		byLoc[c.Location()] = i
+	}
+	r, err := router.New(members, router.Options{Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, res := conformancetest.Key(b, 0), conformancetest.Result(0)
+	if err := r.Put(k, res); err != nil {
+		b.Fatal(err)
+	}
+	primary := byLoc[r.Replicas(k.Digest)[0]]
+	injs[primary].Kill()
+	// One throwaway Get trips the primary's breaker (threshold 1), so
+	// the timed loop measures the health-skip path, not breaker warmup.
+	if _, ok := r.Get(k); !ok {
+		b.Fatal("failover Get missed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Get(k); !ok {
+			b.Fatal("failover Get missed")
+		}
+	}
+}

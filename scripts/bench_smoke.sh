@@ -38,6 +38,15 @@ raw="$raw
 $(go test -run '^$' -bench 'BenchmarkBreakerOpenGet|BenchmarkDegradedWarmGet|BenchmarkLocalWarmGet' \
 	-benchtime 20x -benchmem ./internal/storenet)
 $(go test -run '^$' -bench 'BenchmarkTimeoutRetryGet' -benchtime 5x -benchmem ./internal/storenet)"
+# Replicated router tax: a warm read through a three-daemon router vs
+# the same read through a bare client (the routing overhead a replica
+# set costs when nothing is wrong), and a read whose primary is down
+# (the health-aware failover path — the breaker has already tripped, so
+# this is the steady-state cost of routing around a dead member, not
+# the one-time discovery timeout).
+raw="$raw
+$(go test -run '^$' -bench 'BenchmarkDirectWarmGet|BenchmarkRouterWarmGet|BenchmarkRouterFailoverGet' \
+	-benchtime 20x -benchmem ./internal/storenet/router)"
 # Tracing tax: the cost of recording one span event on a hot shard
 # (span pool + monotonic clock, no locks beyond the span's own), and
 # the disabled-tracer path that every untraced sweep pays — which must
@@ -164,6 +173,19 @@ END {
 	local_warm = ns["BenchmarkLocalWarmGet"]
 	if (degraded > 0 && local_warm > 0)
 		printf ",\n  \"degraded_warm_overhead\": %.2f", degraded / local_warm
+	# Replication figures. router_get_overhead is a healthy warm read
+	# through the three-member router over the same read via a bare
+	# client (expected ~1.0x: the ring lookup and health peek are cheap
+	# next to one loopback round trip). router_failover_ns is the
+	# absolute cost of a read whose primary is dead with the breaker
+	# already open — the per-op price of a degraded replica set.
+	direct_get = ns["BenchmarkDirectWarmGet"]
+	router_get = ns["BenchmarkRouterWarmGet"]
+	if (direct_get > 0 && router_get > 0)
+		printf ",\n  \"router_get_overhead\": %.2f", router_get / direct_get
+	router_failover = ns["BenchmarkRouterFailoverGet"]
+	if (router_failover > 0)
+		printf ",\n  \"router_failover_ns\": %d", router_failover
 	# Observability tax: ns per recorded span event with tracing on, and
 	# the same call against a nil/disabled tracer — the price every
 	# untraced sweep pays, which the obs package promises is negligible.

@@ -17,8 +17,9 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go build cmd/stored =="
+echo "== go build cmd/stored + cmd/storedsup =="
 go build -o /dev/null ./cmd/stored
+go build -o /dev/null ./cmd/storedsup
 
 echo "== go test =="
 go test ./...
@@ -62,6 +63,18 @@ go test -race -count 2 \
 	-run 'TestBackendConformance|TestParseTokens|TestAuthScopeEnforcement|TestRateLimit429|TestByteQuota429|TestClientAuthTerminal|TestClient429HonorsRetryAfterWithoutBreakerTrip|TestAuthedProbesWhileDrainingAndThrottled' \
 	./internal/store ./internal/storenet
 go test -race -run 'TestDaemonAuthTokens|TestDaemonTLS|TestDaemonProbesSurviveAuthAndDrain|TestDaemonTokenReloadOnSIGHUP' ./cmd/stored
+
+echo "== go test -race (replicated router + supervisor + token validity) =="
+# The router package races in full: ring placement, failover reads,
+# read-repair, the background scrubber, the three conformance harnesses
+# and the mid-sweep member-kill chaos test all exercise the same shared
+# counters from many goroutines. The supervisor races its probe loop
+# against a real crashing stored child. Token validity windows race the
+# SIGHUP rotation path.
+go test -race -count 2 ./internal/storenet/router
+go test -race ./cmd/storedsup
+go test -race -count 2 -run 'TestParseTokensValidityWindows|TestTokenValidityWindow401' ./internal/storenet
+go test -race -run 'TestDaemonTokenExpiry' ./cmd/stored
 
 echo "== go test -race (stored load, reduced concurrency) =="
 STORED_LOAD_CLIENTS=25 go test -race -run 'TestStoredLoadConcurrent$' ./internal/storenet
